@@ -1,0 +1,105 @@
+// Command iptool demonstrates Table 1: the ip(8)-style operations work
+// against a NIC the kernel still manages (the AF_XDP deployment model) and
+// fail against a NIC handed to DPDK.
+//
+// Usage:
+//
+//	iptool demo
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ovsxdp/internal/netlinksim"
+	"ovsxdp/internal/packet/hdr"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] != "demo" {
+		fmt.Fprintln(os.Stderr, "usage: iptool demo")
+		os.Exit(2)
+	}
+
+	kern := netlinksim.NewKernel()
+	idx, err := kern.AddLink("eth0", "mlx5_core", hdr.MAC{0x02, 0, 0, 0, 0, 1}, 1500)
+	if err != nil {
+		fatal(err)
+	}
+	if err := kern.AddAddr("eth0", hdr.MakeIP4(10, 0, 0, 1), 24); err != nil {
+		fatal(err)
+	}
+	if err := kern.AddNeigh(netlinksim.Neigh{IP: hdr.MakeIP4(10, 0, 0, 2),
+		MAC: hdr.MAC{0x02, 0, 0, 0, 0, 2}, LinkIndex: idx}); err != nil {
+		fatal(err)
+	}
+	if err := kern.SetLinkState("eth0", netlinksim.LinkUp); err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("== NIC managed by the kernel (AF_XDP deployment) ==")
+	show(kern)
+
+	fmt.Println("\n== after dpdk-devbind: the kernel driver is unbound ==")
+	if _, err := kern.BindDPDK("eth0"); err != nil {
+		fatal(err)
+	}
+	show(kern)
+}
+
+func show(k *netlinksim.Kernel) {
+	// $ ip link
+	if l, err := k.LinkByName("eth0"); err == nil {
+		fmt.Printf("$ ip link show eth0\n  %d: eth0: <%s> mtu %d link/ether %s driver %s\n",
+			l.Index, l.State, l.MTU, l.MAC, l.Driver)
+	} else {
+		fmt.Printf("$ ip link show eth0\n  %v\n", err)
+	}
+	// $ ip address
+	if addrs, err := k.Addrs("eth0"); err == nil {
+		fmt.Print("$ ip address show eth0\n")
+		for _, a := range addrs {
+			fmt.Printf("  inet %s/%d\n", a.IP, a.PrefixLen)
+		}
+	} else {
+		fmt.Printf("$ ip address show eth0\n  %v\n", err)
+	}
+	// $ ip route
+	fmt.Print("$ ip route\n")
+	routes := k.Routes()
+	if len(routes) == 0 {
+		fmt.Println("  (no routes)")
+	}
+	for _, r := range routes {
+		if r.Gateway != 0 {
+			fmt.Printf("  %s/%d via %s dev ifindex %d\n", r.Dst, r.PrefixLen, r.Gateway, r.LinkIndex)
+		} else {
+			fmt.Printf("  %s/%d dev ifindex %d\n", r.Dst, r.PrefixLen, r.LinkIndex)
+		}
+	}
+	// $ ip neigh
+	fmt.Print("$ ip neigh\n")
+	neighs := k.Neighs()
+	if len(neighs) == 0 {
+		fmt.Println("  (no neighbors)")
+	}
+	for _, n := range neighs {
+		fmt.Printf("  %s lladdr %s\n", n.IP, n.MAC)
+	}
+	// $ ping (next-hop resolution)
+	fmt.Print("$ ping 10.0.0.2 (route + ARP resolution)\n")
+	if rt, ok := k.LookupRoute(hdr.MakeIP4(10, 0, 0, 2)); ok {
+		if n, ok := k.LookupNeigh(hdr.MakeIP4(10, 0, 0, 2)); ok {
+			fmt.Printf("  reachable via ifindex %d, lladdr %s\n", rt.LinkIndex, n.MAC)
+		} else {
+			fmt.Println("  no ARP entry")
+		}
+	} else {
+		fmt.Println("  connect: Network is unreachable")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iptool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command ovsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ovsbench list                 # show available experiments
+//	ovsbench all                  # run everything (full profile)
+//	ovsbench fig9a table2 ...     # run selected experiments
+//	ovsbench -quick fig8a         # CI-sized windows
+//
+// Each experiment prints measured values next to the paper's anchors with
+// the measured/paper ratio, matching the per-experiment index in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ovsxdp/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use shortened measurement windows")
+	flag.Usage = usage
+	flag.Parse()
+
+	profile := experiments.Full
+	if *quick {
+		profile = experiments.Quick
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	if args[0] == "list" {
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if args[0] == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+
+	exit := 0
+	for _, id := range ids {
+		e, ok := experiments.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ovsbench: unknown experiment %q (try 'ovsbench list')\n", id)
+			exit = 1
+			continue
+		}
+		start := time.Now()
+		rep := e.Run(profile)
+		fmt.Print(rep)
+		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	os.Exit(exit)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `ovsbench — regenerate the paper's evaluation
+
+usage:
+  ovsbench [-quick] list | all | <experiment>...
+
+experiments: fig1 fig2 fig8a fig8b fig8c fig9a fig9b fig9c fig10 fig11 fig12
+             table1 table2 table3 table4 table5
+`)
+	flag.PrintDefaults()
+}

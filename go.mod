@@ -1,0 +1,3 @@
+module ovsxdp
+
+go 1.22

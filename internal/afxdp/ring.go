@@ -1,0 +1,93 @@
+// Package afxdp implements the AF_XDP data structures of Section 3: umem
+// buffer regions, the four single-producer/single-consumer descriptor rings
+// (fill, completion, rx, tx), XSK sockets, and the umempool buffer manager
+// whose locking strategy optimizations O2 and O3 are about.
+//
+// The structures are real — descriptors circulate through actual ring
+// buffers, packet bytes live in actual umem chunks — while the *costs* of
+// operating them (syscalls, driver work) are charged by the layers above
+// from the cost model. Packet loss emerges naturally: when the fill ring is
+// empty or the rx ring is full, the driver has nowhere to put a packet and
+// drops it, which is exactly the lossless-rate cliff the paper's Figure 9
+// binary-searches for.
+package afxdp
+
+import "fmt"
+
+// DefaultRingSize matches XSK_RING_{PROD,CONS}__DEFAULT_NUM_DESCS.
+const DefaultRingSize = 2048
+
+// Desc is one ring descriptor: a umem address and frame length.
+type Desc struct {
+	Addr uint64
+	Len  uint32
+}
+
+// Ring is a bounded single-producer single-consumer descriptor ring. Size
+// must be a power of two.
+type Ring struct {
+	desc []Desc
+	mask uint64
+	prod uint64
+	cons uint64
+}
+
+// NewRing builds a ring with the given size (rounded up to a power of two).
+func NewRing(size int) *Ring {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{desc: make([]Desc, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.desc) }
+
+// Len returns the number of descriptors currently queued.
+func (r *Ring) Len() int { return int(r.prod - r.cons) }
+
+// Free returns the remaining capacity.
+func (r *Ring) Free() int { return r.Cap() - r.Len() }
+
+// Push enqueues one descriptor; it reports false when the ring is full.
+func (r *Ring) Push(d Desc) bool {
+	if r.Len() == r.Cap() {
+		return false
+	}
+	r.desc[r.prod&r.mask] = d
+	r.prod++
+	return true
+}
+
+// Pop dequeues one descriptor; ok is false when the ring is empty.
+func (r *Ring) Pop() (Desc, bool) {
+	if r.Len() == 0 {
+		return Desc{}, false
+	}
+	d := r.desc[r.cons&r.mask]
+	r.cons++
+	return d, true
+}
+
+// PopBatch dequeues up to n descriptors into out and returns the count.
+func (r *Ring) PopBatch(out []Desc, n int) int {
+	if n > len(out) {
+		n = len(out)
+	}
+	got := 0
+	for got < n {
+		d, ok := r.Pop()
+		if !ok {
+			break
+		}
+		out[got] = d
+		got++
+	}
+	return got
+}
+
+// String summarizes ring occupancy.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring{%d/%d}", r.Len(), r.Cap())
+}

@@ -1,0 +1,472 @@
+// Package conntrack implements the userspace connection tracker OVS needed
+// once the datapath left the kernel: Section 4 notes NSX depends on
+// "connection tracking for firewalling in the kernel's netfilter subsystem"
+// and that OVS "uses its own userspace implementations of these features".
+//
+// The tracker follows the OVS/netfilter model: connections are keyed by
+// 5-tuple within a zone (zones keep different virtual networks' flows
+// separate), carry a TCP state machine, support SNAT/DNAT with real header
+// rewriting, and enforce per-zone connection limits — the feature whose
+// kernel/out-of-tree double implementation Section 2.1.1 uses as a case
+// study.
+package conntrack
+
+import (
+	"fmt"
+
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/sim"
+)
+
+// Tuple is a unidirectional 5-tuple.
+type Tuple struct {
+	SrcIP   hdr.IP4
+	DstIP   hdr.IP4
+	Proto   hdr.IPProto
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Reverse returns the reply-direction tuple.
+func (t Tuple) Reverse() Tuple {
+	return Tuple{SrcIP: t.DstIP, DstIP: t.SrcIP, Proto: t.Proto, SrcPort: t.DstPort, DstPort: t.SrcPort}
+}
+
+// String formats the tuple for diagnostics.
+func (t Tuple) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d/%s", t.SrcIP, t.SrcPort, t.DstIP, t.DstPort, t.Proto)
+}
+
+// State is the connection's protocol state.
+type State int
+
+// Connection states (a condensed netfilter TCP state machine plus the
+// two-step UDP/ICMP model).
+const (
+	StateNew State = iota
+	StateSynSent
+	StateSynRecv
+	StateEstablished
+	StateFinWait
+	StateClosed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateSynSent:
+		return "syn-sent"
+	case StateSynRecv:
+		return "syn-recv"
+	case StateEstablished:
+		return "established"
+	case StateFinWait:
+		return "fin-wait"
+	case StateClosed:
+		return "closed"
+	default:
+		return "?"
+	}
+}
+
+// Timeouts per state, in virtual time. They are compressed relative to real
+// netfilter defaults so simulations can exercise expiry without hours of
+// virtual time; the ordering (established >> transient) is preserved.
+const (
+	TimeoutSynSent     = 30 * sim.Second
+	TimeoutEstablished = 600 * sim.Second
+	TimeoutUDP         = 60 * sim.Second
+	TimeoutFin         = 10 * sim.Second
+)
+
+// NAT describes a translation to apply at commit time.
+type NAT struct {
+	// SNAT: rewrite source address/port on the original direction
+	// (destination on replies). DNAT is the converse.
+	Kind NATKind
+	Addr hdr.IP4
+	Port uint16 // 0 keeps the original port
+}
+
+// NATKind discriminates source vs destination translation.
+type NATKind int
+
+// NAT kinds.
+const (
+	NATNone NATKind = iota
+	SNAT
+	DNAT
+)
+
+// Conn is one tracked connection.
+type Conn struct {
+	Zone  uint16
+	Orig  Tuple
+	State State
+	Mark  uint32
+	NAT   NAT
+
+	created sim.Time
+	expires sim.Time
+	// packets/bytes per direction.
+	PktsOrig, PktsReply uint64
+}
+
+type connKey struct {
+	zone  uint16
+	tuple Tuple
+}
+
+// Table is the connection table.
+type Table struct {
+	eng   *sim.Engine
+	conns map[connKey]*Conn
+	// reverse maps the reply-direction (post-NAT) tuple to the conn.
+	perZone map[uint16]int
+	limits  map[uint16]int
+
+	// Loose enables mid-stream TCP pickup (nf_conntrack_tcp_loose,
+	// enabled by default in Linux): a non-SYN packet with no known
+	// connection creates one in the established state instead of being
+	// marked invalid.
+	Loose bool
+
+	// Stats.
+	Created   uint64
+	Expired   uint64
+	LimitHits uint64
+}
+
+// NewTable builds an empty table on the engine's clock.
+func NewTable(eng *sim.Engine) *Table {
+	return &Table{
+		eng:     eng,
+		conns:   make(map[connKey]*Conn),
+		perZone: make(map[uint16]int),
+		limits:  make(map[uint16]int),
+		Loose:   true,
+	}
+}
+
+// SetZoneLimit caps concurrent connections in zone (0 removes the cap),
+// the per-zone connection limiting feature of Section 2.1.1.
+func (t *Table) SetZoneLimit(zone uint16, limit int) {
+	if limit <= 0 {
+		delete(t.limits, zone)
+		return
+	}
+	t.limits[zone] = limit
+}
+
+// Len returns the number of live connections (expired entries may linger
+// until touched or swept).
+func (t *Table) Len() int { return len(t.conns) / 2 }
+
+// ZoneCount returns live connections in a zone.
+func (t *Table) ZoneCount(zone uint16) int { return t.perZone[zone] }
+
+// TupleOf extracts the conntrack tuple from an IPv4 packet, reporting false
+// for non-IPv4 or fragmented-beyond-first packets.
+func TupleOf(p *packet.Packet) (Tuple, bool) {
+	var tu Tuple
+	d := p.Data
+	eth, err := hdr.ParseEthernet(d)
+	if err != nil || eth.Type != hdr.EtherTypeIPv4 {
+		return tu, false
+	}
+	ip, err := hdr.ParseIPv4(d[eth.HeaderLen:])
+	if err != nil || ip.FragOffset != 0 {
+		return tu, false
+	}
+	tu.SrcIP, tu.DstIP, tu.Proto = ip.Src, ip.Dst, ip.Proto
+	l4 := d[eth.HeaderLen+ip.HeaderLen:]
+	switch ip.Proto {
+	case hdr.IPProtoTCP:
+		h, err := hdr.ParseTCP(l4)
+		if err != nil {
+			return tu, false
+		}
+		tu.SrcPort, tu.DstPort = h.SrcPort, h.DstPort
+	case hdr.IPProtoUDP:
+		h, err := hdr.ParseUDP(l4)
+		if err != nil {
+			return tu, false
+		}
+		tu.SrcPort, tu.DstPort = h.SrcPort, h.DstPort
+	case hdr.IPProtoICMP:
+		h, err := hdr.ParseICMP(l4)
+		if err != nil {
+			return tu, false
+		}
+		tu.SrcPort, tu.DstPort = h.ID, h.ID
+	default:
+		return tu, false
+	}
+	return tu, true
+}
+
+// Process runs the packet through the tracker in the given zone: the ct()
+// datapath action. It sets the packet's conntrack metadata (CtState, CtZone,
+// CtMark). With commit set, a new connection is installed (subject to the
+// zone limit); without it, new connections are only classified, as in OVS
+// where commit happens on the firewall's allow rule.
+func (t *Table) Process(p *packet.Packet, zone uint16, commit bool, nat NAT) {
+	p.CtZone = zone
+	tu, ok := TupleOf(p)
+	if !ok {
+		p.CtState = packet.CtTracked | packet.CtInvalid
+		return
+	}
+	now := t.eng.Now()
+
+	var tcpFlags uint8
+	if tu.Proto == hdr.IPProtoTCP {
+		eth, _ := hdr.ParseEthernet(p.Data)
+		ip, _ := hdr.ParseIPv4(p.Data[eth.HeaderLen:])
+		tcp, _ := hdr.ParseTCP(p.Data[eth.HeaderLen+ip.HeaderLen:])
+		tcpFlags = tcp.Flags
+	}
+
+	// Original direction?
+	if c, ok := t.lookup(zone, tu); ok {
+		reply := c.Orig != tu
+		t.advance(c, tcpFlags, reply, now)
+		p.CtState = packet.CtTracked
+		p.CtMark = c.Mark
+		switch c.State {
+		case StateEstablished, StateFinWait:
+			p.CtState |= packet.CtEstablished
+		case StateSynSent, StateSynRecv, StateNew:
+			if reply {
+				p.CtState |= packet.CtEstablished
+			} else {
+				p.CtState |= packet.CtNew
+			}
+		case StateClosed:
+			p.CtState |= packet.CtInvalid
+		}
+		if reply {
+			p.CtState |= packet.CtReply
+			c.PktsReply++
+			t.applyNAT(p, c, true)
+		} else {
+			c.PktsOrig++
+			t.applyNAT(p, c, false)
+		}
+		return
+	}
+
+	// New connection.
+	p.CtState = packet.CtTracked | packet.CtNew
+	midstream := tu.Proto == hdr.IPProtoTCP && tcpFlags&hdr.TCPSyn == 0
+	if midstream && !t.Loose {
+		// Mid-stream packet with no connection: invalid.
+		p.CtState = packet.CtTracked | packet.CtInvalid
+		return
+	}
+	if midstream {
+		// Loose pickup adopts the flow as already established.
+		p.CtState = packet.CtTracked | packet.CtEstablished
+	}
+	if !commit {
+		return
+	}
+	if limit, ok := t.limits[zone]; ok && t.perZone[zone] >= limit {
+		t.LimitHits++
+		p.CtState = packet.CtTracked | packet.CtInvalid
+		return
+	}
+	c := &Conn{Zone: zone, Orig: tu, State: StateNew, NAT: nat, created: now}
+	switch {
+	case midstream:
+		c.State = StateEstablished
+		c.expires = now + TimeoutEstablished
+	case tu.Proto == hdr.IPProtoTCP:
+		c.State = StateSynSent
+		c.expires = now + TimeoutSynSent
+	default:
+		c.expires = now + TimeoutUDP
+	}
+	c.PktsOrig = 1
+	t.install(c)
+	t.Created++
+	t.applyNAT(p, c, false)
+}
+
+// lookup finds the connection for tuple in zone, in either direction,
+// dropping it if expired.
+func (t *Table) lookup(zone uint16, tu Tuple) (*Conn, bool) {
+	c, ok := t.conns[connKey{zone, tu}]
+	if !ok {
+		return nil, false
+	}
+	if t.eng.Now() >= c.expires {
+		t.remove(c)
+		t.Expired++
+		return nil, false
+	}
+	return c, true
+}
+
+// Find returns the connection for a tuple in a zone without touching
+// state (diagnostics, tests).
+func (t *Table) Find(zone uint16, tu Tuple) (*Conn, bool) { return t.lookup(zone, tu) }
+
+// SetMark sets the connection mark (the ct_mark field rules match on).
+func (t *Table) SetMark(zone uint16, tu Tuple, mark uint32) bool {
+	c, ok := t.lookup(zone, tu)
+	if !ok {
+		return false
+	}
+	c.Mark = mark
+	return true
+}
+
+// advance runs the TCP (or UDP/ICMP) state machine for one packet.
+func (t *Table) advance(c *Conn, tcpFlags uint8, reply bool, now sim.Time) {
+	if c.Orig.Proto != hdr.IPProtoTCP {
+		// UDP/ICMP: a reply establishes.
+		if reply && c.State != StateEstablished {
+			c.State = StateEstablished
+		}
+		c.expires = now + TimeoutUDP
+		return
+	}
+	switch {
+	case tcpFlags&hdr.TCPRst != 0:
+		c.State = StateClosed
+		c.expires = now + TimeoutFin
+	case tcpFlags&hdr.TCPFin != 0:
+		c.State = StateFinWait
+		c.expires = now + TimeoutFin
+	case c.State == StateSynSent && reply && tcpFlags&hdr.TCPSyn != 0 && tcpFlags&hdr.TCPAck != 0:
+		c.State = StateSynRecv
+		c.expires = now + TimeoutSynSent
+	case c.State == StateSynRecv && !reply && tcpFlags&hdr.TCPAck != 0:
+		c.State = StateEstablished
+		c.expires = now + TimeoutEstablished
+	case c.State == StateEstablished:
+		c.expires = now + TimeoutEstablished
+	default:
+		c.expires = now + TimeoutSynSent
+	}
+}
+
+// applyNAT rewrites packet headers per the connection's translation,
+// recomputing checksums — the real work OVS had to reimplement in
+// userspace.
+func (t *Table) applyNAT(p *packet.Packet, c *Conn, reply bool) {
+	if c.NAT.Kind == NATNone {
+		return
+	}
+	eth, err := hdr.ParseEthernet(p.Data)
+	if err != nil || eth.Type != hdr.EtherTypeIPv4 {
+		return
+	}
+	ipRaw := p.Data[eth.HeaderLen:]
+	ip, err := hdr.ParseIPv4(ipRaw)
+	if err != nil {
+		return
+	}
+	l4 := ipRaw[ip.HeaderLen:]
+
+	// Forward direction applies the translation; the reply direction
+	// undoes it, restoring the original endpoint.
+	var rewriteSrc bool
+	var newAddr hdr.IP4
+	var newPort uint16
+	switch {
+	case c.NAT.Kind == SNAT && !reply:
+		rewriteSrc, newAddr, newPort = true, c.NAT.Addr, c.NAT.Port
+	case c.NAT.Kind == SNAT && reply:
+		rewriteSrc, newAddr, newPort = false, c.Orig.SrcIP, c.Orig.SrcPort
+	case c.NAT.Kind == DNAT && !reply:
+		rewriteSrc, newAddr, newPort = false, c.NAT.Addr, c.NAT.Port
+	default: // DNAT reply
+		rewriteSrc, newAddr, newPort = true, c.Orig.DstIP, c.Orig.DstPort
+	}
+	if rewriteSrc {
+		ip.Src = newAddr
+	} else {
+		ip.Dst = newAddr
+	}
+	ip.SerializeTo(ipRaw)
+
+	if newPort != 0 {
+		switch ip.Proto {
+		case hdr.IPProtoTCP, hdr.IPProtoUDP:
+			if len(l4) >= 4 {
+				portOff := 0
+				if !rewriteSrc {
+					portOff = 2
+				}
+				l4[portOff] = byte(newPort >> 8)
+				l4[portOff+1] = byte(newPort)
+			}
+		}
+	}
+	switch ip.Proto {
+	case hdr.IPProtoTCP:
+		if len(l4) >= hdr.TCPMinSize {
+			hdr.PutTCPChecksum(ip.Src, ip.Dst, l4)
+		}
+	case hdr.IPProtoUDP:
+		if len(l4) >= hdr.UDPSize {
+			hdr.PutUDPChecksum(ip.Src, ip.Dst, l4)
+		}
+	}
+}
+
+// install indexes the connection under both directions. The reply
+// direction accounts for NAT: replies arrive addressed to the translated
+// tuple.
+func (t *Table) install(c *Conn) {
+	t.conns[connKey{c.Zone, c.Orig}] = c
+	t.conns[connKey{c.Zone, t.replyTuple(c)}] = c
+	t.perZone[c.Zone]++
+}
+
+func (t *Table) remove(c *Conn) {
+	delete(t.conns, connKey{c.Zone, c.Orig})
+	delete(t.conns, connKey{c.Zone, t.replyTuple(c)})
+	t.perZone[c.Zone]--
+}
+
+// replyTuple computes the tuple reply packets carry, after translation.
+func (t *Table) replyTuple(c *Conn) Tuple {
+	r := c.Orig.Reverse()
+	switch c.NAT.Kind {
+	case SNAT:
+		r.DstIP = c.NAT.Addr
+		if c.NAT.Port != 0 {
+			r.DstPort = c.NAT.Port
+		}
+	case DNAT:
+		r.SrcIP = c.NAT.Addr
+		if c.NAT.Port != 0 {
+			r.SrcPort = c.NAT.Port
+		}
+	}
+	return r
+}
+
+// Sweep removes expired connections and returns the count removed.
+func (t *Table) Sweep() int {
+	now := t.eng.Now()
+	var victims []*Conn
+	seen := map[*Conn]bool{}
+	for _, c := range t.conns {
+		if now >= c.expires && !seen[c] {
+			seen[c] = true
+			victims = append(victims, c)
+		}
+	}
+	for _, c := range victims {
+		t.remove(c)
+		t.Expired++
+	}
+	return len(victims)
+}

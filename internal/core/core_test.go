@@ -1,0 +1,612 @@
+package core
+
+import (
+	"testing"
+
+	"ovsxdp/internal/afxdp"
+	"ovsxdp/internal/ebpf"
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/netlinksim"
+	"ovsxdp/internal/nicsim"
+	"ovsxdp/internal/ofproto"
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/sim"
+	"ovsxdp/internal/tunnel"
+	"ovsxdp/internal/vdev"
+	"ovsxdp/internal/xdp"
+)
+
+var (
+	macA = hdr.MAC{0x02, 0, 0, 0, 0, 0x0a}
+	macB = hdr.MAC{0x02, 0, 0, 0, 0, 0x0b}
+)
+
+func udpPkt(sport uint16) *packet.Packet {
+	return packet.New(hdr.NewBuilder().Eth(macA, macB).
+		IPv4H(hdr.MakeIP4(10, 0, 0, 1), hdr.MakeIP4(10, 0, 0, 2), 64).
+		UDPH(sport, 2000).PayloadLen(18).PadTo(64).Build())
+}
+
+// forwardPipeline sends in_port=1 to port 2.
+func forwardPipeline() *ofproto.Pipeline {
+	pl := ofproto.NewPipeline()
+	m := flow.NewMaskBuilder().InPort().Build()
+	pl.AddRule(&ofproto.Rule{TableID: 0, Priority: 1,
+		Match:   ofproto.NewMatch(flow.Fields{InPort: 1}, m),
+		Actions: []ofproto.Action{ofproto.Output(2)}})
+	return pl
+}
+
+// p2pBed wires an AF_XDP (or DPDK) P2P forwarding testbed: NIC A receives
+// generated packets, the datapath forwards them out NIC B, whose wire
+// counts deliveries.
+type p2pBed struct {
+	eng   *sim.Engine
+	dp    *Datapath
+	pmd   *PMD
+	nicA  *nicsim.NIC
+	nicB  *nicsim.NIC
+	sent  int
+	recvd int
+}
+
+func newAFXDPP2P(t *testing.T, opts Options, lock afxdp.LockMode, mode Mode) *p2pBed {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	bed := &p2pBed{eng: eng}
+	bed.nicA = nicsim.New(eng, nicsim.Config{Name: "ethA", Ifindex: 1, Queues: 1})
+	bed.nicB = nicsim.New(eng, nicsim.Config{Name: "ethB", Ifindex: 2, Queues: 1})
+	bed.nicB.ConnectWire(func(p *packet.Packet) { bed.recvd++ })
+	if _, err := AttachDefaultProgram(bed.nicA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachDefaultProgram(bed.nicB); err != nil {
+		t.Fatal(err)
+	}
+
+	dp := NewDatapath(eng, forwardPipeline(), opts)
+	portA := NewAFXDPPort(AFXDPPortConfig{ID: 1, NIC: bed.nicA, Eng: eng, LockMode: lock})
+	portB := NewAFXDPPort(AFXDPPortConfig{ID: 2, NIC: bed.nicB, Eng: eng, LockMode: lock})
+	dp.AddPort(portA)
+	dp.AddPort(portB)
+
+	pmd := dp.NewPMD(mode, nil)
+	pmd.AssignRxQueue(portA, 0)
+	pmd.Start()
+
+	bed.dp = dp
+	bed.pmd = pmd
+	return bed
+}
+
+// offer injects n packets of one flow, spaced at interval.
+func (b *p2pBed) offer(n int, interval sim.Time) {
+	for i := 0; i < n; i++ {
+		b.eng.Schedule(sim.Time(i)*interval, func() {
+			b.nicA.Receive(udpPkt(7777))
+			b.sent++
+		})
+	}
+}
+
+func TestAFXDPForwardEndToEnd(t *testing.T) {
+	bed := newAFXDPP2P(t, DefaultOptions(), afxdp.LockSpinBatched, ModePoll)
+	bed.offer(100, 1000)
+	bed.eng.RunUntil(10 * sim.Millisecond)
+	if bed.recvd != 100 {
+		t.Fatalf("received %d/100 packets", bed.recvd)
+	}
+	// One upcall (first packet), then EMC hits.
+	if bed.dp.Upcalls != 1 {
+		t.Fatalf("upcalls = %d, want 1", bed.dp.Upcalls)
+	}
+	if bed.dp.EMCHits < 98 {
+		t.Fatalf("EMC hits = %d, want ~99", bed.dp.EMCHits)
+	}
+	// CPU time must appear in both user (PMD) and softirq (XDP + tx
+	// drain) categories.
+	usage := bed.eng.CPUReport(bed.eng.Now())
+	if usage[sim.User] <= 0 || usage[sim.Softirq] <= 0 {
+		t.Fatalf("usage = %s", usage)
+	}
+}
+
+func TestAFXDPInterruptModeForwards(t *testing.T) {
+	bed := newAFXDPP2P(t, DefaultOptions(), afxdp.LockSpinBatched, ModeInterrupt)
+	bed.offer(50, 2000)
+	bed.eng.RunUntil(10 * sim.Millisecond)
+	if bed.recvd != 50 {
+		t.Fatalf("received %d/50 in interrupt mode", bed.recvd)
+	}
+}
+
+// TestTable2RateLadder reproduces the Table 2 ordering end to end: each
+// configuration must sustain a strictly higher rate than the one before.
+func TestTable2RateLadder(t *testing.T) {
+	type cfg struct {
+		name string
+		opts Options
+		lock afxdp.LockMode
+		mode Mode
+	}
+	base := DefaultOptions()
+	noO4 := base
+	noO4.MetadataPrealloc = false
+	withO5 := base
+	withO5.AssumeCsumOffload = true
+	cfgs := []cfg{
+		{"none", noO4, afxdp.LockMutex, ModeNonPMD},
+		{"O1", noO4, afxdp.LockMutex, ModePoll},
+		{"O1+O2", noO4, afxdp.LockSpin, ModePoll},
+		{"O1..O3", noO4, afxdp.LockSpinBatched, ModePoll},
+		{"O1..O4", base, afxdp.LockSpinBatched, ModePoll},
+		{"O1..O5", withO5, afxdp.LockSpinBatched, ModePoll},
+	}
+	// Measure the PMD's user-CPU cost per packet for each configuration;
+	// rate ~ 1/cost. (The full lossless-rate search lives in the
+	// experiments package; this is the ordering contract.)
+	var costs []float64
+	for _, c := range cfgs {
+		bed := newAFXDPP2P(t, c.opts, c.lock, c.mode)
+		bed.offer(200, 3000)
+		bed.eng.RunUntil(20 * sim.Millisecond)
+		if bed.recvd < 190 {
+			t.Fatalf("%s: received %d/200", c.name, bed.recvd)
+		}
+		busy := bed.pmd.CPU.Busy(sim.User) + bed.pmd.CPU.Busy(sim.System) - bed.pmd.IdleTime
+		costs = append(costs, float64(busy)/float64(bed.recvd))
+	}
+	for i := 1; i < len(costs); i++ {
+		if costs[i] >= costs[i-1] {
+			t.Fatalf("ladder violated at %s: %.1f >= %.1f ns/pkt",
+				cfgs[i].name, costs[i], costs[i-1])
+		}
+	}
+}
+
+func TestDPDKForwardEndToEnd(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nicA := nicsim.New(eng, nicsim.Config{Name: "dpdk0", Queues: 1,
+		Offloads: nicsim.Offloads{TxCsum: true, TSO: true, RSSHashDeliver: true}})
+	nicB := nicsim.New(eng, nicsim.Config{Name: "dpdk1", Queues: 1,
+		Offloads: nicsim.Offloads{TxCsum: true, TSO: true}})
+	recvd := 0
+	nicB.ConnectWire(func(*packet.Packet) { recvd++ })
+
+	dp := NewDatapath(eng, forwardPipeline(), DefaultOptions())
+	dp.AddPort(NewDPDKPort(1, nicA))
+	portB := NewDPDKPort(2, nicB)
+	dp.AddPort(portB)
+	pmd := dp.NewPMD(ModePoll, nil)
+	pmd.AssignRxQueue(dp.Port(1), 0)
+	pmd.Start()
+
+	for i := 0; i < 100; i++ {
+		eng.Schedule(sim.Time(i)*500, func() { nicA.Receive(udpPkt(1)) })
+	}
+	eng.RunUntil(5 * sim.Millisecond)
+	if recvd != 100 {
+		t.Fatalf("received %d/100 via DPDK", recvd)
+	}
+	// DPDK keeps everything in userspace: no softirq time at all.
+	usage := eng.CPUReport(eng.Now())
+	if usage[sim.Softirq] != 0 {
+		t.Fatalf("DPDK must not use softirq: %s", usage)
+	}
+}
+
+func TestDPDKFasterThanAFXDP(t *testing.T) {
+	perPkt := func(mk func() (*sim.Engine, *PMD, *int)) float64 {
+		eng, pmd, recvd := mk()
+		eng.RunUntil(20 * sim.Millisecond)
+		if *recvd < 190 {
+			t.Fatalf("received %d", *recvd)
+		}
+		return float64(pmd.CPU.BusyTotal()-pmd.IdleTime) / float64(*recvd)
+	}
+	afxdpCost := perPkt(func() (*sim.Engine, *PMD, *int) {
+		bed := newAFXDPP2P(t, DefaultOptions(), afxdp.LockSpinBatched, ModePoll)
+		bed.offer(200, 3000)
+		return bed.eng, bed.pmd, &bed.recvd
+	})
+	dpdkCost := perPkt(func() (*sim.Engine, *PMD, *int) {
+		eng := sim.NewEngine(1)
+		nicA := nicsim.New(eng, nicsim.Config{Name: "d0", Queues: 1})
+		nicB := nicsim.New(eng, nicsim.Config{Name: "d1", Queues: 1})
+		recvd := 0
+		nicB.ConnectWire(func(*packet.Packet) { recvd++ })
+		dp := NewDatapath(eng, forwardPipeline(), DefaultOptions())
+		dp.AddPort(NewDPDKPort(1, nicA))
+		dp.AddPort(NewDPDKPort(2, nicB))
+		pmd := dp.NewPMD(ModePoll, nil)
+		pmd.AssignRxQueue(dp.Port(1), 0)
+		pmd.Start()
+		for i := 0; i < 200; i++ {
+			eng.Schedule(sim.Time(i)*3000, func() { nicA.Receive(udpPkt(1)) })
+		}
+		return eng, pmd, &recvd
+	})
+	if dpdkCost >= afxdpCost {
+		t.Fatalf("DPDK per-packet cost %.0f must beat AF_XDP %.0f", dpdkCost, afxdpCost)
+	}
+}
+
+func TestVhostPortRoundTrip(t *testing.T) {
+	eng := sim.NewEngine(1)
+	dev := vdev.NewVhostUser("vhost0")
+	dp := NewDatapath(eng, forwardPipeline(), DefaultOptions())
+	vp := NewVhostPort(1, dev)
+	dp.AddPort(vp)
+	sinkDev := vdev.NewVhostUser("vhost1")
+	dp.AddPort(NewVhostPort(2, sinkDev))
+	pmd := dp.NewPMD(ModePoll, nil)
+	pmd.AssignRxQueue(vp, 0)
+	pmd.Start()
+
+	// Guest transmits 10 packets.
+	for i := 0; i < 10; i++ {
+		dev.FromGuest.Push(udpPkt(uint16(i)))
+	}
+	eng.RunUntil(sim.Millisecond)
+	if got := sinkDev.ToGuest.Len(); got != 10 {
+		t.Fatalf("delivered %d/10 to the destination guest ring", got)
+	}
+}
+
+func TestTapPortChargesSystemTime(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tap := vdev.NewTap("tap0")
+	dp := NewDatapath(eng, forwardPipeline(), DefaultOptions())
+	tp := NewTapPort(1, tap)
+	dp.AddPort(tp)
+	tap2 := vdev.NewTap("tap1")
+	dp.AddPort(NewTapPort(2, tap2))
+	pmd := dp.NewPMD(ModePoll, nil)
+	pmd.AssignRxQueue(tp, 0)
+	pmd.Start()
+
+	for i := 0; i < 20; i++ {
+		tap.FromKernel.Push(udpPkt(uint16(i)))
+	}
+	eng.RunUntil(sim.Millisecond)
+	if tap2.ToKernel.Len() != 20 {
+		t.Fatalf("delivered %d/20", tap2.ToKernel.Len())
+	}
+	if pmd.CPU.Busy(sim.System) == 0 {
+		t.Fatal("tap I/O must charge system (syscall) time")
+	}
+}
+
+func TestCTRecirculationInUserspace(t *testing.T) {
+	eng := sim.NewEngine(1)
+	pl := ofproto.NewPipeline()
+	mIn := flow.NewMaskBuilder().InPort().Build()
+	mCt := flow.NewMaskBuilder().CtState(0xff).Build()
+	pl.AddRule(&ofproto.Rule{TableID: 0, Priority: 1,
+		Match:   ofproto.NewMatch(flow.Fields{InPort: 1}, mIn),
+		Actions: []ofproto.Action{ofproto.CT(3, true, 10)}})
+	pl.AddRule(&ofproto.Rule{TableID: 10, Priority: 1,
+		Match:   ofproto.NewMatch(flow.Fields{CtState: 0x03}, mCt),
+		Actions: []ofproto.Action{ofproto.Output(2)}})
+
+	dp := NewDatapath(eng, pl, DefaultOptions())
+	tapIn := vdev.NewTap("in")
+	tapOut := vdev.NewTap("out")
+	inPort := NewTapPort(1, tapIn)
+	dp.AddPort(inPort)
+	dp.AddPort(NewTapPort(2, tapOut))
+	pmd := dp.NewPMD(ModePoll, nil)
+	pmd.AssignRxQueue(inPort, 0)
+	pmd.Start()
+
+	syn := packet.New(hdr.NewBuilder().Eth(macA, macB).
+		IPv4H(hdr.MakeIP4(10, 0, 0, 1), hdr.MakeIP4(10, 0, 0, 2), 64).
+		TCPH(1000, 80, 1, 0, hdr.TCPSyn).PadTo(64).Build())
+	tapIn.FromKernel.Push(syn)
+	eng.RunUntil(sim.Millisecond)
+
+	if tapOut.ToKernel.Len() != 1 {
+		t.Fatalf("ct+recirc did not forward (drops=%d)", dp.Drops)
+	}
+	if dp.Recirculations != 1 {
+		t.Fatalf("recirculations = %d", dp.Recirculations)
+	}
+	if dp.Ct.ZoneCount(3) != 1 {
+		t.Fatal("connection not committed")
+	}
+	// Two passes -> two megaflows.
+	if pmd.Classifier().Len() != 2 {
+		t.Fatalf("megaflows = %d, want 2", pmd.Classifier().Len())
+	}
+}
+
+func TestTunnelPushPopThroughDatapath(t *testing.T) {
+	eng := sim.NewEngine(1)
+
+	// Routing for the tunnel next hop.
+	kern := netlinksim.NewKernel()
+	idx, _ := kern.AddLink("uplink", "mlx5", hdr.MAC{2, 0xff, 0, 0, 0, 1}, 1600)
+	kern.AddAddr("uplink", hdr.MakeIP4(172, 16, 0, 1), 16)
+	kern.AddNeigh(netlinksim.Neigh{IP: hdr.MakeIP4(172, 16, 0, 2), MAC: hdr.MAC{2, 0xff, 0, 0, 0, 2}, LinkIndex: idx})
+	cache := netlinksim.NewCache(kern)
+
+	pl := ofproto.NewPipeline()
+	mIn := flow.NewMaskBuilder().InPort().Build()
+	// Encap side: traffic from port 1 goes into a Geneve tunnel out
+	// port 2.
+	pl.AddRule(&ofproto.Rule{TableID: 0, Priority: 1,
+		Match: ofproto.NewMatch(flow.Fields{InPort: 1}, mIn),
+		Actions: []ofproto.Action{
+			ofproto.SetTunnel(tunnel.Config{Kind: tunnel.Geneve,
+				LocalIP: hdr.MakeIP4(172, 16, 0, 1), RemoteIP: hdr.MakeIP4(172, 16, 0, 2), VNI: 88}),
+			ofproto.Output(2)}})
+	// Decap side: tunneled traffic arriving on port 3 pops to virtual
+	// port 100, whose pass forwards to port 4.
+	pl.AddRule(&ofproto.Rule{TableID: 0, Priority: 2,
+		Match:   ofproto.NewMatch(flow.Fields{InPort: 3}, mIn),
+		Actions: []ofproto.Action{ofproto.TunnelPop(100)}})
+	pl.AddRule(&ofproto.Rule{TableID: 0, Priority: 1,
+		Match:   ofproto.NewMatch(flow.Fields{InPort: 100}, mIn),
+		Actions: []ofproto.Action{ofproto.Output(4)}})
+
+	dp := NewDatapath(eng, pl, DefaultOptions())
+	dp.Encapper = tunnel.NewEncapper(cache)
+
+	taps := make([]*vdev.Tap, 5)
+	for i := 1; i <= 4; i++ {
+		taps[i-1] = vdev.NewTap("t")
+		dp.AddPort(NewTapPort(uint32(i), taps[i-1]))
+	}
+	pmd := dp.NewPMD(ModePoll, nil)
+	pmd.AssignRxQueue(dp.Port(1), 0)
+	pmd.AssignRxQueue(dp.Port(3), 0)
+	pmd.Start()
+
+	// Encap: inner frame in, Geneve frame out port 2.
+	taps[0].FromKernel.Push(udpPkt(1))
+	eng.RunUntil(sim.Millisecond)
+	outFrames := taps[1].ToKernel.Pop(10)
+	if len(outFrames) != 1 {
+		t.Fatalf("encap output = %d frames", len(outFrames))
+	}
+	inner, wasTunnel, err := tunnel.Decap(outFrames[0])
+	if err != nil || !wasTunnel || inner.Tunnel.VNI != 88 {
+		t.Fatalf("output is not a VNI-88 Geneve frame: %v %v", wasTunnel, err)
+	}
+
+	// Decap: feed the Geneve frame into port 3; the inner frame must
+	// appear at port 4.
+	outFrames[0].ResetMetadata()
+	taps[2].FromKernel.Push(outFrames[0])
+	eng.RunUntil(2 * sim.Millisecond)
+	got := taps[3].ToKernel.Pop(10)
+	if len(got) != 1 {
+		t.Fatalf("decap output = %d frames (drops=%d)", len(got), dp.Drops)
+	}
+	if got[0].Tunnel == nil || got[0].Tunnel.VNI != 88 {
+		t.Fatal("decapped packet lost tunnel metadata")
+	}
+}
+
+func TestSoftwareTSOSegmentation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	dp := NewDatapath(eng, forwardPipeline(), DefaultOptions())
+	tapIn := vdev.NewTap("in")
+	inPort := NewTapPort(1, tapIn)
+	dp.AddPort(inPort)
+
+	// Egress via AF_XDP (no TSO hardware).
+	nicB := nicsim.New(eng, nicsim.Config{Name: "ethB", Ifindex: 2, Queues: 1})
+	if _, err := AttachDefaultProgram(nicB); err != nil {
+		t.Fatal(err)
+	}
+	frames := 0
+	nicB.ConnectWire(func(*packet.Packet) { frames++ })
+	dp.AddPort(NewAFXDPPort(AFXDPPortConfig{ID: 2, NIC: nicB, Eng: eng}))
+	pmd := dp.NewPMD(ModePoll, nil)
+	pmd.AssignRxQueue(inPort, 0)
+	pmd.Start()
+
+	big := packet.New(hdr.NewBuilder().Eth(macA, macB).
+		IPv4H(hdr.MakeIP4(10, 0, 0, 1), hdr.MakeIP4(10, 0, 0, 2), 64).
+		TCPH(1, 2, 0, 0, hdr.TCPAck).PayloadLen(8000).Build())
+	big.SegSize = 1460
+	big.Offloads = packet.TSO
+	tapIn.FromKernel.Push(big)
+	eng.RunUntil(sim.Millisecond)
+
+	want := (8000 + 1459) / 1460
+	if frames != want {
+		t.Fatalf("wire frames = %d, want %d (software TSO)", frames, want)
+	}
+	if dp.SegmentedPkts != 1 {
+		t.Fatalf("segmented = %d", dp.SegmentedPkts)
+	}
+
+	// With AssumeTSO the oversized frame passes through whole.
+	opts := DefaultOptions()
+	opts.AssumeTSO = true
+	eng2 := sim.NewEngine(1)
+	dp2 := NewDatapath(eng2, forwardPipeline(), opts)
+	tapIn2 := vdev.NewTap("in")
+	inPort2 := NewTapPort(1, tapIn2)
+	dp2.AddPort(inPort2)
+	nicB2 := nicsim.New(eng2, nicsim.Config{Name: "ethB", Queues: 1})
+	if _, err := AttachDefaultProgram(nicB2); err != nil {
+		t.Fatal(err)
+	}
+	frames2 := 0
+	nicB2.ConnectWire(func(*packet.Packet) { frames2++ })
+	dp2.AddPort(NewAFXDPPort(AFXDPPortConfig{ID: 2, NIC: nicB2, Eng: eng2}))
+	pmd2 := dp2.NewPMD(ModePoll, nil)
+	pmd2.AssignRxQueue(inPort2, 0)
+	pmd2.Start()
+	big2 := big.Clone()
+	big2.ResetMetadata()
+	big2.SegSize = 1460
+	tapIn2.FromKernel.Push(big2)
+	eng2.RunUntil(sim.Millisecond)
+	if frames2 != 1 {
+		t.Fatalf("AssumeTSO frames = %d, want 1", frames2)
+	}
+}
+
+func TestEMCAblation(t *testing.T) {
+	// With the EMC off, every packet pays a classifier lookup; per-packet
+	// cost must rise.
+	cost := func(emcOn bool) float64 {
+		opts := DefaultOptions()
+		opts.EMC = emcOn
+		bed := newAFXDPP2P(t, opts, afxdp.LockSpinBatched, ModePoll)
+		bed.offer(200, 3000)
+		bed.eng.RunUntil(20 * sim.Millisecond)
+		return float64(bed.pmd.CPU.Busy(sim.User)-bed.pmd.IdleTime) / float64(bed.recvd)
+	}
+	with, without := cost(true), cost(false)
+	if without <= with {
+		t.Fatalf("EMC off (%.0f ns/pkt) must cost more than on (%.0f)", without, with)
+	}
+}
+
+func TestMeterDropsExcessTraffic(t *testing.T) {
+	eng := sim.NewEngine(1)
+	pl := ofproto.NewPipeline()
+	pl.SetMeter(1, &ofproto.TokenBucket{RatePerSec: 1000, Burst: 5, PerPacket: true})
+	mIn := flow.NewMaskBuilder().InPort().Build()
+	pl.AddRule(&ofproto.Rule{TableID: 0, Priority: 1,
+		Match:   ofproto.NewMatch(flow.Fields{InPort: 1}, mIn),
+		Actions: []ofproto.Action{ofproto.Meter(1), ofproto.Output(2)}})
+
+	dp := NewDatapath(eng, pl, DefaultOptions())
+	tapIn, tapOut := vdev.NewTap("in"), vdev.NewTap("out")
+	inPort := NewTapPort(1, tapIn)
+	dp.AddPort(inPort)
+	dp.AddPort(NewTapPort(2, tapOut))
+	pmd := dp.NewPMD(ModePoll, nil)
+	pmd.AssignRxQueue(inPort, 0)
+	pmd.Start()
+
+	// 50 packets in one instant: only the burst passes.
+	for i := 0; i < 50; i++ {
+		tapIn.FromKernel.Push(udpPkt(uint16(i)))
+	}
+	eng.RunUntil(sim.Millisecond)
+	passed := tapOut.ToKernel.Len()
+	if passed > 8 || passed < 4 {
+		t.Fatalf("meter passed %d packets, want ~5", passed)
+	}
+	if dp.MeterDrops == 0 {
+		t.Fatal("meter drops not counted")
+	}
+}
+
+func TestThousandFlowsColdPenalty(t *testing.T) {
+	cost := func(flows int) float64 {
+		bed := newAFXDPP2P(t, DefaultOptions(), afxdp.LockSpinBatched, ModePoll)
+		n := 3000
+		for i := 0; i < n; i++ {
+			sport := uint16(1000 + i%flows)
+			bed.eng.Schedule(sim.Time(i)*1500, func() { bed.nicA.Receive(udpPkt(sport)) })
+		}
+		bed.eng.RunUntil(30 * sim.Millisecond)
+		if bed.recvd < n*9/10 {
+			t.Fatalf("flows=%d received %d/%d", flows, bed.recvd, n)
+		}
+		return float64(bed.pmd.CPU.Busy(sim.User)-bed.pmd.IdleTime) / float64(bed.recvd)
+	}
+	one, thousand := cost(1), cost(1000)
+	if thousand <= one {
+		t.Fatalf("1000 flows (%.0f ns/pkt) must cost more than 1 flow (%.0f)", thousand, one)
+	}
+}
+
+func TestZeroCopyReducesSoftirqCost(t *testing.T) {
+	perPkt := func(zc bool) float64 {
+		eng := sim.NewEngine(1)
+		nicA := nicsim.New(eng, nicsim.Config{Name: "ethA", Ifindex: 1, Queues: 1})
+		nicB := nicsim.New(eng, nicsim.Config{Name: "ethB", Ifindex: 2, Queues: 1})
+		recvd := 0
+		nicB.ConnectWire(func(*packet.Packet) { recvd++ })
+		if _, err := AttachDefaultProgram(nicA); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := AttachDefaultProgram(nicB); err != nil {
+			t.Fatal(err)
+		}
+		dp := NewDatapath(eng, forwardPipeline(), DefaultOptions())
+		portA := NewAFXDPPort(AFXDPPortConfig{ID: 1, NIC: nicA, Eng: eng, ZeroCopy: zc})
+		dp.AddPort(portA)
+		dp.AddPort(NewAFXDPPort(AFXDPPortConfig{ID: 2, NIC: nicB, Eng: eng, ZeroCopy: zc}))
+		pmd := dp.NewPMD(ModePoll, nil)
+		pmd.AssignRxQueue(portA, 0)
+		pmd.Start()
+		for i := 0; i < 200; i++ {
+			eng.Schedule(sim.Time(i)*2000, func() { nicA.Receive(udpPkt(3)) })
+		}
+		eng.RunUntil(5 * sim.Millisecond)
+		if recvd < 190 {
+			t.Fatalf("zc=%v received %d", zc, recvd)
+		}
+		var softirq sim.Time
+		for _, c := range eng.CPUs() {
+			softirq += c.Busy(sim.Softirq)
+		}
+		return float64(softirq) / float64(recvd)
+	}
+	copyMode, zcMode := perPkt(false), perPkt(true)
+	if zcMode >= copyMode {
+		t.Fatalf("zero-copy softirq cost %.0f must beat copy mode %.0f", zcMode, copyMode)
+	}
+}
+
+// TestPerQueueSteeringSeparatesManagementTraffic reproduces the Figure 6(b)
+// deployment: ntuple rules steer SSH to queue 0, which has no XDP program
+// (it feeds the kernel stack), while the data queues run the OVS program.
+func TestPerQueueSteeringSeparatesManagementTraffic(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nic := nicsim.New(eng, nicsim.Config{Name: "mlx0", Ifindex: 1, Queues: 4,
+		AttachModel: xdp.ModelPerQueue})
+	// SSH to queue 0 in hardware.
+	if err := nic.AddSteeringRule(nicsim.SteeringRule{Proto: hdr.IPProtoTCP, DstPort: 22, Queue: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Data flows elsewhere via RSS over queues 1-3 would need all queues
+	// programmed; steer the benchmark flow explicitly to queue 2.
+	if err := nic.AddSteeringRule(nicsim.SteeringRule{Proto: hdr.IPProtoUDP, DstPort: 2000, Queue: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	xskMap := ebpf.NewXskMap(4)
+	if err := xskMap.SetTarget(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	prog := xdp.NewPassToXsk(xskMap)
+	if err := prog.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nic.Hook.AttachQueue(2, prog); err != nil {
+		t.Fatal(err)
+	}
+
+	cpu := eng.NewCPU("softirq0")
+	toStack, toXsk := 0, 0
+	for i := 0; i < 20; i++ {
+		// Management: SSH.
+		ssh := packet.New(hdr.NewBuilder().Eth(macA, macB).
+			IPv4H(hdr.MakeIP4(10, 0, 0, 1), hdr.MakeIP4(10, 0, 0, 2), 64).
+			TCPH(40000, 22, 1, 0, hdr.TCPAck).PadTo(64).Build())
+		nic.Receive(ssh)
+		// Data.
+		nic.Receive(udpPkt(uint16(i)))
+	}
+	for q := 0; q < 4; q++ {
+		passed, _ := nic.DriverReceive(nic.Queue(q), 64, cpu, nicsim.DriverVerdicts{
+			ToXsk: func(uint32, *packet.Packet) { toXsk++ },
+		})
+		toStack += len(passed)
+	}
+	if toStack != 20 || toXsk != 20 {
+		t.Fatalf("stack=%d xsk=%d, want 20/20 split", toStack, toXsk)
+	}
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"ovsxdp/internal/conntrack"
+	"ovsxdp/internal/costmodel"
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/ofproto"
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/sim"
+	"ovsxdp/internal/tunnel"
+)
+
+// Caps describes a port's transmit-side hardware offloads. The AF_XDP gap
+// — no checksum or TSO offload yet (Table 2 O5, Section 5.5) — is the
+// difference between AFXDPCaps and the others.
+type Caps struct {
+	TxCsum bool
+	TSO    bool
+}
+
+// PortCaps returns the offload capabilities for a known port type; the
+// datapath consults this before transmitting packets that still carry
+// CsumPartial or TSO state.
+func PortCaps(p Port) Caps {
+	switch p.(type) {
+	case *AFXDPPort, *VethPort:
+		// AF_XDP cannot reach the NIC's offload engines (Section 3.2
+		// O5: "AF_XDP does not yet [support offloads]").
+		return Caps{}
+	default:
+		// DPDK programs hardware offloads; vhost/tap negotiate
+		// virtio offloads with the peer.
+		return Caps{TxCsum: true, TSO: true}
+	}
+}
+
+// Options are the datapath tunables; each maps to one of the paper's
+// optimizations or an ablation DESIGN.md calls out.
+type Options struct {
+	// EMC enables the exact-match cache (ablation: the cache the kernel
+	// maintainers rejected).
+	EMC bool
+	// MetadataPrealloc is O4: dp_packet metadata in a preallocated
+	// contiguous array; disabled, every packet pays the mmap-allocation
+	// cost.
+	MetadataPrealloc bool
+	// AssumeCsumOffload is O5's estimate: transmit a fixed checksum
+	// value instead of computing one in software.
+	AssumeCsumOffload bool
+	// AssumeTSO models the expected AF_XDP TSO support (Figure 8's
+	// "checksum and TSO" bars): oversized segments are passed through
+	// without software segmentation.
+	AssumeTSO bool
+	// BatchSize is packets per poll (NETDEV_MAX_BURST).
+	BatchSize int
+	// ColdFlowThreshold is the EMC occupancy beyond which per-packet
+	// flow state no longer fits the CPU cache and each packet pays
+	// ColdFlowCacheMiss (the 1,000-flow effect of Figure 9).
+	ColdFlowThreshold int
+	// ContentionCentis is the multi-PMD contention coefficient (tenths;
+	// see costmodel.UserContentionMilli). Zero disables contention
+	// scaling; the experiment beds set the per-datapath calibrated
+	// values for Figure 12.
+	ContentionCentis int
+}
+
+// DefaultOptions returns the fully-optimized configuration (all of
+// O1..O5 except that checksum offload remains estimated, as in the paper).
+func DefaultOptions() Options {
+	return Options{
+		EMC:               true,
+		MetadataPrealloc:  true,
+		AssumeCsumOffload: false,
+		BatchSize:         costmodel.BatchSize,
+		ColdFlowThreshold: 512,
+	}
+}
+
+// Datapath is the shared state of the userspace datapath: ports, the
+// ofproto pipeline upcalls translate against, conntrack, tunneling, and
+// counters. Per-thread state (EMC, megaflow classifier) lives in each PMD.
+type Datapath struct {
+	Eng      *sim.Engine
+	Pipeline *ofproto.Pipeline
+	Ct       *conntrack.Table
+	Encapper *tunnel.Encapper
+	Opts     Options
+
+	ports map[uint32]Port
+	pmds  []*PMD
+	// activePMDs counts PMD threads that have processed traffic, for the
+	// contention model.
+	activePMDs int
+
+	// Stats.
+	Processed      uint64
+	EMCHits        uint64
+	MegaflowHits   uint64
+	Upcalls        uint64
+	UpcallErrors   uint64
+	Drops          uint64
+	Recirculations uint64
+	MeterDrops     uint64
+	SegmentedPkts  uint64
+}
+
+// NewDatapath builds a datapath over a pipeline.
+func NewDatapath(eng *sim.Engine, pl *ofproto.Pipeline, opts Options) *Datapath {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = costmodel.BatchSize
+	}
+	return &Datapath{
+		Eng:      eng,
+		Pipeline: pl,
+		Ct:       conntrack.NewTable(eng),
+		Opts:     opts,
+		ports:    make(map[uint32]Port),
+	}
+}
+
+// AddPort registers a port.
+func (d *Datapath) AddPort(p Port) { d.ports[p.ID()] = p }
+
+// Port returns a registered port or nil.
+func (d *Datapath) Port(id uint32) Port { return d.ports[id] }
+
+// RemovePort detaches a port.
+func (d *Datapath) RemovePort(id uint32) { delete(d.ports, id) }
+
+// Ports returns the number of attached ports.
+func (d *Datapath) Ports() int { return len(d.ports) }
+
+// FlushFlows clears every PMD's caches (revalidation after rule changes).
+func (d *Datapath) FlushFlows() {
+	for _, m := range d.pmds {
+		m.emc.Flush()
+		m.cls.Flush()
+	}
+}
+
+const maxRecircDepth = 8
+
+// processOne runs one packet through the fast path on PMD m. Costs are
+// charged to m.CPU in the User category; the structure is the dpif-netdev
+// hot loop: metadata, key extraction, EMC, megaflow classifier, upcall,
+// action execution.
+func (d *Datapath) processOne(m *PMD, p *packet.Packet, depth int) {
+	if depth > maxRecircDepth {
+		d.Drops++
+		return
+	}
+	d.Processed++
+	cpu := m.CPU
+
+	// dp_packet metadata (O4).
+	cpu.Consume(sim.User, costmodel.PacketMetadataInit)
+	if !d.Opts.MetadataPrealloc {
+		cpu.Consume(sim.User, costmodel.PacketMetadataMmap)
+	}
+
+	// Receive-side checksum validation (O5): packets whose checksum no
+	// hardware vouched for (AF_XDP physical receive) are validated in
+	// software, unless the experiment assumes the future offload.
+	if depth == 0 && p.Offloads&(packet.CsumVerified|packet.CsumPartial) == 0 {
+		if !d.Opts.AssumeCsumOffload {
+			cpu.Consume(sim.User, costmodel.ChecksumCost(len(p.Data)))
+		}
+		p.Offloads |= packet.CsumVerified
+	}
+
+	// Flow key extraction (the real parser, charged at the calibrated
+	// rate).
+	key := flow.Extract(p)
+	cpu.Consume(sim.User, costmodel.ParseFlowKey)
+
+	var actions []ofproto.DPAction
+	hit := false
+	if d.Opts.EMC {
+		if e, ok := m.emc.Lookup(key); ok {
+			cpu.Consume(sim.User, costmodel.EMCHit)
+			if m.emc.Len() > d.Opts.ColdFlowThreshold {
+				cpu.Consume(sim.User, costmodel.ColdFlowCacheMiss)
+			}
+			actions, _ = e.Actions.([]ofproto.DPAction)
+			d.EMCHits++
+			hit = true
+		} else {
+			cpu.Consume(sim.User, costmodel.EMCMissProbe)
+		}
+	}
+	if !hit {
+		e, probes := m.cls.Lookup(key)
+		cpu.Consume(sim.User, sim.Time(probes)*costmodel.DpclsLookupPerSubtable)
+		if e == nil {
+			// Upcall: inline slow-path translation on this PMD.
+			d.Upcalls++
+			cpu.Consume(sim.User, costmodel.UpcallCost)
+			mf, err := d.Pipeline.Translate(key)
+			if err != nil {
+				d.UpcallErrors++
+				d.Drops++
+				return
+			}
+			e = m.cls.Insert(key, mf.Mask, mf.Actions)
+		} else {
+			d.MegaflowHits++
+		}
+		if d.Opts.EMC {
+			m.emc.Insert(key, e)
+		}
+		actions, _ = e.Actions.([]ofproto.DPAction)
+	}
+
+	if len(actions) == 0 {
+		d.Drops++
+		return
+	}
+	d.execute(m, p, actions, depth)
+}
+
+// execute runs a compiled datapath action list.
+func (d *Datapath) execute(m *PMD, p *packet.Packet, actions []ofproto.DPAction, depth int) {
+	cpu := m.CPU
+	for _, a := range actions {
+		switch a.Type {
+		case ofproto.DPOutput:
+			out := d.ports[a.Port]
+			if out == nil {
+				d.Drops++
+				return
+			}
+			cpu.Consume(sim.User, costmodel.ExecActionOutput)
+			d.transmit(m, out, p)
+
+		case ofproto.DPCT:
+			cpu.Consume(sim.User, costmodel.ConntrackLookup)
+			if a.Commit {
+				cpu.Consume(sim.User, costmodel.ConntrackCommit-costmodel.ConntrackLookup)
+			}
+			d.Ct.Process(p, a.Zone, a.Commit, a.NAT)
+			cpu.Consume(sim.User, costmodel.RecirculationOverhead)
+			p.RecircID = a.RecircID
+			d.Recirculations++
+			d.processOne(m, p, depth+1)
+			return
+
+		case ofproto.DPTunnelPush:
+			cpu.Consume(sim.User, costmodel.TunnelEncap)
+			outer, err := d.Encapper.Encap(p, a.Tunnel)
+			if err != nil {
+				d.Drops++
+				return
+			}
+			// The outer UDP checksum was computed in software by
+			// the encapsulation; with estimated offload the cost
+			// vanishes (O5's methodology).
+			if !d.Opts.AssumeCsumOffload {
+				cpu.Consume(sim.User, costmodel.ChecksumCost(len(outer.Data)))
+			}
+			p = outer
+
+		case ofproto.DPTunnelPop:
+			cpu.Consume(sim.User, costmodel.TunnelDecap)
+			inner, wasTunnel, err := tunnel.Decap(p)
+			if err != nil || !wasTunnel {
+				d.Drops++
+				return
+			}
+			inner.InPort = a.Port
+			inner.RecircID = 0
+			d.Recirculations++
+			d.processOne(m, inner, depth+1)
+			return
+
+		case ofproto.DPPushVLAN:
+			cpu.Consume(sim.User, costmodel.ExecActionSimple)
+			p.Data = hdr.PushVLAN(p.Data, a.VLAN, a.VLANPrio)
+		case ofproto.DPPopVLAN:
+			cpu.Consume(sim.User, costmodel.ExecActionSimple)
+			p.Data = hdr.PopVLAN(p.Data)
+		case ofproto.DPSetEthSrc:
+			cpu.Consume(sim.User, costmodel.ExecActionSimple)
+			if len(p.Data) >= 12 {
+				copy(p.Data[6:12], a.MAC[:])
+			}
+		case ofproto.DPSetEthDst:
+			cpu.Consume(sim.User, costmodel.ExecActionSimple)
+			if len(p.Data) >= 6 {
+				copy(p.Data[0:6], a.MAC[:])
+			}
+		case ofproto.DPDecTTL:
+			cpu.Consume(sim.User, costmodel.ExecActionSimple)
+			decTTL(p)
+		case ofproto.DPMeter:
+			if !d.Pipeline.MeterAllow(a.MeterID, len(p.Data), d.Eng.Now()) {
+				d.MeterDrops++
+				d.Drops++
+				return
+			}
+		}
+	}
+}
+
+// transmit handles offload fix-ups before handing the packet to the port:
+// software checksumming when the egress lacks the offload (O5) and
+// software TSO segmentation when the egress lacks TSO (Figure 8's
+// pre-TSO-support bars).
+func (d *Datapath) transmit(m *PMD, out Port, p *packet.Packet) {
+	caps := PortCaps(out)
+	cpu := m.CPU
+
+	if p.Offloads&packet.CsumPartial != 0 && !caps.TxCsum {
+		if !d.Opts.AssumeCsumOffload {
+			cpu.Consume(sim.User, costmodel.ChecksumCost(len(p.Data)))
+		}
+		p.Offloads &^= packet.CsumPartial
+		p.Offloads |= packet.CsumVerified
+	}
+
+	if p.SegSize > 0 && len(p.Data) > p.SegSize+64 && !caps.TSO && !d.Opts.AssumeTSO {
+		// Software segmentation: split into MSS frames, each paying a
+		// copy, then transmit each.
+		segs := softwareSegment(p)
+		d.SegmentedPkts++
+		for _, s := range segs {
+			cpu.Consume(sim.User, costmodel.CopyCost(len(s.Data)))
+			if s.Offloads&packet.CsumPartial != 0 && !d.Opts.AssumeCsumOffload {
+				cpu.Consume(sim.User, costmodel.ChecksumCost(len(s.Data)))
+				s.Offloads &^= packet.CsumPartial
+			}
+			out.Tx(cpu, m.ID, s)
+		}
+		m.touch(out)
+		return
+	}
+	out.Tx(cpu, m.ID, p)
+	m.touch(out)
+}
+
+// softwareSegment splits an oversized TCP packet at its SegSize.
+func softwareSegment(p *packet.Packet) []*packet.Packet {
+	hdrLen := p.L4Offset
+	if hdrLen <= 0 || hdrLen > len(p.Data) {
+		hdrLen = 54
+	} else if hdrLen+hdr.TCPMinSize <= len(p.Data) {
+		hdrLen += int(p.Data[hdrLen+12]>>4) * 4
+	}
+	if hdrLen > len(p.Data) {
+		hdrLen = len(p.Data)
+	}
+	payload := p.Data[hdrLen:]
+	var out []*packet.Packet
+	for off := 0; off < len(payload); off += p.SegSize {
+		end := off + p.SegSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		data := make([]byte, hdrLen+end-off)
+		copy(data, p.Data[:hdrLen])
+		copy(data[hdrLen:], payload[off:end])
+		s := packet.New(data)
+		s.Metadata = p.Metadata
+		s.SegSize = 0
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return []*packet.Packet{p}
+	}
+	return out
+}
+
+func decTTL(p *packet.Packet) {
+	eth, err := hdr.ParseEthernet(p.Data)
+	if err != nil || eth.Type != hdr.EtherTypeIPv4 {
+		return
+	}
+	raw := p.Data[eth.HeaderLen:]
+	ip, err := hdr.ParseIPv4(raw)
+	if err != nil || ip.TTL == 0 {
+		return
+	}
+	ip.TTL--
+	ip.SerializeTo(raw[:hdr.IPv4MinSize])
+}

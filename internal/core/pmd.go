@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"ovsxdp/internal/costmodel"
+	"ovsxdp/internal/dpcls"
+	"ovsxdp/internal/emc"
+	"ovsxdp/internal/sim"
+)
+
+// Mode selects how a packet-processing thread is driven.
+type Mode int
+
+// Thread modes.
+const (
+	// ModePoll is optimization O1: a dedicated PMD thread busy-polls its
+	// receive queues.
+	ModePoll Mode = iota
+	// ModeNonPMD is the pre-O1 behaviour: the shared main thread
+	// interleaves packet work with OpenFlow/OVSDB processing, paying a
+	// poll()-and-wakeup gap around every batch.
+	ModeNonPMD
+	// ModeInterrupt sleeps until a queue signals packets (Figure 8a's
+	// "interrupt" configuration): no busy-poll CPU burn, but a wakeup
+	// cost per burst and none of the batching benefits at low rates.
+	ModeInterrupt
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModePoll:
+		return "pmd-poll"
+	case ModeNonPMD:
+		return "non-pmd"
+	default:
+		return "interrupt"
+	}
+}
+
+// RxQueue names one (port, queue) a PMD polls.
+type RxQueue struct {
+	Port  Port
+	Queue int
+}
+
+// PMD is one poll-mode-driver thread: a dedicated CPU, its assigned
+// receive queues, and its private exact-match cache and megaflow
+// classifier (per-PMD, lockless, exactly as dpif-netdev partitions them).
+type PMD struct {
+	ID  int
+	CPU *sim.CPU
+	dp  *Datapath
+
+	emc  *emc.Cache[*dpcls.Entry]
+	cls  *dpcls.Classifier
+	rxqs []RxQueue
+	mode Mode
+
+	running bool
+	stopped bool
+	active  bool // has seen work; feeds the contention count
+	touched map[Port]bool
+
+	// Stats.
+	Iterations uint64
+	RxPackets  uint64
+	// IdleTime accumulates busy-poll time spent on empty iterations, so
+	// experiments can separate useful work from the idle spin that makes
+	// a PMD CPU always-100%.
+	IdleTime sim.Time
+}
+
+// NewPMD creates a PMD on the datapath. Each PMD gets its own CPU unless
+// cpu is non-nil.
+func (d *Datapath) NewPMD(mode Mode, cpu *sim.CPU) *PMD {
+	id := len(d.pmds)
+	if cpu == nil {
+		cpu = d.Eng.NewCPU(fmt.Sprintf("pmd%d", id))
+	}
+	m := &PMD{
+		ID:      id,
+		CPU:     cpu,
+		dp:      d,
+		emc:     emc.New[*dpcls.Entry](costmodel.EMCEntries, uint32(id)*0x9e37+1),
+		cls:     dpcls.New(uint32(id)*0x79b9 + 7),
+		mode:    mode,
+		touched: make(map[Port]bool),
+	}
+	d.pmds = append(d.pmds, m)
+	return m
+}
+
+// AssignRxQueue adds a receive queue to this PMD's poll list.
+func (m *PMD) AssignRxQueue(p Port, q int) {
+	m.rxqs = append(m.rxqs, RxQueue{Port: p, Queue: q})
+}
+
+// EMCStats exposes cache hit counters for experiments.
+func (m *PMD) EMCStats() (hits, misses uint64) { return m.emc.Hits, m.emc.Misses }
+
+// Classifier exposes the megaflow classifier (tests, flow dumping).
+func (m *PMD) Classifier() *dpcls.Classifier { return m.cls }
+
+// Start launches the thread's loop.
+func (m *PMD) Start() {
+	m.stopped = false
+	switch m.mode {
+	case ModeInterrupt:
+		m.armAll()
+	default:
+		m.wake()
+	}
+}
+
+// Stop halts the loop after the current iteration.
+func (m *PMD) Stop() { m.stopped = true }
+
+func (m *PMD) wake() {
+	if m.running || m.stopped {
+		return
+	}
+	m.running = true
+	m.dp.Eng.Schedule(0, m.iterate)
+}
+
+func (m *PMD) armAll() {
+	for _, rxq := range m.rxqs {
+		rxq.Port.Arm(rxq.Queue, m.onInterrupt)
+	}
+}
+
+func (m *PMD) onInterrupt() {
+	if m.running || m.stopped {
+		return
+	}
+	// Wakeup: context switch into the blocked thread.
+	m.CPU.Consume(sim.User, costmodel.InterruptModeWakeup)
+	m.running = true
+	m.dp.Eng.ScheduleAt(m.CPU.FreeAt(), m.iterate)
+}
+
+// iterate is one pass over the assigned receive queues.
+func (m *PMD) iterate() {
+	if m.stopped {
+		m.running = false
+		return
+	}
+	m.Iterations++
+	batch := m.dp.Opts.BatchSize
+	work := 0
+	busyBefore := m.CPU.BusyTotal()
+	for _, rxq := range m.rxqs {
+		pkts := rxq.Port.Rx(m.CPU, rxq.Queue, batch)
+		if len(pkts) == 0 {
+			continue
+		}
+		work += len(pkts)
+		m.RxPackets += uint64(len(pkts))
+		if m.mode == ModeNonPMD {
+			// The shared thread pays the poll()/wakeup gap around
+			// each batch (Table 2's 0.8 vs 4.8 Mpps).
+			m.CPU.Consume(sim.User, costmodel.NonPMDPollGap)
+		}
+		for _, p := range pkts {
+			m.dp.processOne(m, p, 0)
+		}
+	}
+	if work > 0 {
+		if !m.active {
+			m.active = true
+			m.dp.activePMDs++
+		}
+		// Multi-PMD contention: shared cache and memory bandwidth
+		// inflate per-packet costs as more threads run hot
+		// (Figure 12's sub-linear 64B scaling).
+		if k := m.dp.Opts.ContentionCentis; k > 0 && m.dp.activePMDs > 1 {
+			milli := costmodel.UserContentionMilli(m.dp.activePMDs, k)
+			extra := (m.CPU.BusyTotal() - busyBefore) * sim.Time(milli-1000) / 1000
+			if extra > 0 {
+				m.CPU.Consume(sim.User, extra)
+			}
+		}
+	}
+	// Flush batched transmissions on every port this iteration touched.
+	for port := range m.touched {
+		port.Flush(m.CPU, m.ID)
+		delete(m.touched, port)
+	}
+
+	switch {
+	case m.mode == ModeInterrupt && work == 0:
+		// Sleep until a queue signals.
+		m.running = false
+		m.armAll()
+	default:
+		if work == 0 {
+			m.CPU.Consume(sim.User, costmodel.PollIdleIteration)
+			m.IdleTime += costmodel.PollIdleIteration
+		}
+		next := m.CPU.FreeAt()
+		if now := m.dp.Eng.Now(); next < now {
+			next = now
+		}
+		m.dp.Eng.ScheduleAt(next, m.iterate)
+	}
+}
+
+func (m *PMD) touch(p Port) { m.touched[p] = true }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"ovsxdp/internal/dpcls"
+	"ovsxdp/internal/sim"
+)
+
+// Revalidator ages out idle megaflows, the way ovs-vswitchd's revalidator
+// threads do: a megaflow that saw no traffic for IdleSweeps consecutive
+// sweeps is removed (and its EMC entries die with the next flush). Without
+// this, a long-running switch accumulates one megaflow per decision path it
+// ever made.
+type Revalidator struct {
+	dp *Datapath
+	// Interval between sweeps.
+	Interval sim.Time
+	// IdleSweeps is how many hit-less sweeps a flow survives.
+	IdleSweeps int
+
+	lastHits map[*dpcls.Entry]uint64
+	idleFor  map[*dpcls.Entry]int
+	running  bool
+
+	// Stats.
+	Sweeps  uint64
+	Evicted uint64
+}
+
+// StartRevalidator launches periodic sweeps on the datapath's engine.
+func (d *Datapath) StartRevalidator(interval sim.Time, idleSweeps int) *Revalidator {
+	if idleSweeps <= 0 {
+		idleSweeps = 2
+	}
+	r := &Revalidator{
+		dp:         d,
+		Interval:   interval,
+		IdleSweeps: idleSweeps,
+		lastHits:   make(map[*dpcls.Entry]uint64),
+		idleFor:    make(map[*dpcls.Entry]int),
+		running:    true,
+	}
+	d.Eng.Schedule(interval, r.sweep)
+	return r
+}
+
+// Stop halts future sweeps.
+func (r *Revalidator) Stop() { r.running = false }
+
+// sweep examines every PMD's megaflows and evicts the idle ones.
+func (r *Revalidator) sweep() {
+	if !r.running {
+		return
+	}
+	r.Sweeps++
+	live := make(map[*dpcls.Entry]bool)
+	for _, m := range r.dp.pmds {
+		for _, e := range m.cls.Entries() {
+			live[e] = true
+			if e.Hits != r.lastHits[e] {
+				r.lastHits[e] = e.Hits
+				r.idleFor[e] = 0
+				continue
+			}
+			r.idleFor[e]++
+			if r.idleFor[e] >= r.IdleSweeps {
+				if m.cls.Remove(e) {
+					r.Evicted++
+				}
+				// Stale EMC entries pointing at the removed
+				// megaflow are dropped wholesale; they rebuild
+				// from the classifier on the next packets.
+				m.emc.Flush()
+				delete(r.lastHits, e)
+				delete(r.idleFor, e)
+				live[e] = false
+			}
+		}
+	}
+	// Forget tracking state for entries that vanished by other means
+	// (FlushFlows on rule changes).
+	for e := range r.lastHits {
+		if !live[e] {
+			delete(r.lastHits, e)
+			delete(r.idleFor, e)
+		}
+	}
+	r.dp.Eng.Schedule(r.Interval, r.sweep)
+}
+
+// FlowCount reports megaflows across all PMDs (diagnostics).
+func (d *Datapath) FlowCount() int {
+	n := 0
+	for _, m := range d.pmds {
+		n += m.cls.Len()
+	}
+	return n
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"ovsxdp/internal/afxdp"
+	"ovsxdp/internal/sim"
+)
+
+func TestRevalidatorAgesIdleFlows(t *testing.T) {
+	bed := newAFXDPP2P(t, DefaultOptions(), afxdp.LockSpinBatched, ModePoll)
+	reval := bed.dp.StartRevalidator(2*sim.Millisecond, 2)
+
+	// Traffic for a while, then silence.
+	bed.offer(100, 10_000) // 100 packets over 1ms
+	bed.eng.RunUntil(2 * sim.Millisecond)
+	if bed.dp.FlowCount() == 0 {
+		t.Fatal("traffic must install megaflows")
+	}
+
+	// Several idle sweep intervals later the flows are gone.
+	bed.eng.RunUntil(20 * sim.Millisecond)
+	if got := bed.dp.FlowCount(); got != 0 {
+		t.Fatalf("idle megaflows not evicted: %d remain", got)
+	}
+	if reval.Evicted == 0 || reval.Sweeps < 3 {
+		t.Fatalf("revalidator stats: %d evicted over %d sweeps", reval.Evicted, reval.Sweeps)
+	}
+}
+
+func TestRevalidatorKeepsActiveFlows(t *testing.T) {
+	bed := newAFXDPP2P(t, DefaultOptions(), afxdp.LockSpinBatched, ModePoll)
+	bed.dp.StartRevalidator(2*sim.Millisecond, 2)
+
+	// Continuous traffic for 30ms: the flow must survive every sweep.
+	bed.offer(3000, 10_000)
+	bed.eng.RunUntil(29 * sim.Millisecond)
+	if bed.dp.FlowCount() == 0 {
+		t.Fatal("active megaflow evicted under traffic")
+	}
+	bed.eng.RunUntil(31 * sim.Millisecond)
+	if bed.recvd != 3000 {
+		t.Fatalf("forwarding disturbed: %d/3000", bed.recvd)
+	}
+}
+
+func TestRevalidatorStop(t *testing.T) {
+	bed := newAFXDPP2P(t, DefaultOptions(), afxdp.LockSpinBatched, ModePoll)
+	reval := bed.dp.StartRevalidator(sim.Millisecond, 1)
+	bed.offer(10, 1000)
+	bed.eng.RunUntil(2 * sim.Millisecond)
+	reval.Stop()
+	sweeps := reval.Sweeps
+	bed.eng.RunUntil(10 * sim.Millisecond)
+	if reval.Sweeps != sweeps {
+		t.Fatal("stopped revalidator kept sweeping")
+	}
+}

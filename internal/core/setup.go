@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+
+	"ovsxdp/internal/ebpf"
+	"ovsxdp/internal/nicsim"
+	"ovsxdp/internal/xdp"
+)
+
+// AttachDefaultProgram loads and attaches the standard OVS XDP program —
+// redirect every packet into the per-queue AF_XDP socket — to a NIC,
+// returning the xskmap for inspection. This is the step Section 4
+// describes vswitchd performing when a port is added to a bridge.
+func AttachDefaultProgram(nic *nicsim.NIC) (*ebpf.TargetMap, error) {
+	xskMap := ebpf.NewXskMap(nic.NumQueues())
+	for q := 0; q < nic.NumQueues(); q++ {
+		if err := xskMap.SetTarget(uint32(q), uint32(q)); err != nil {
+			return nil, fmt.Errorf("core: xskmap setup: %w", err)
+		}
+	}
+	prog := xdp.NewPassToXsk(xskMap)
+	if err := prog.Load(); err != nil {
+		return nil, fmt.Errorf("core: XDP program rejected by verifier: %w", err)
+	}
+	if err := nic.Hook.Attach(prog); err != nil {
+		return nil, fmt.Errorf("core: XDP attach: %w", err)
+	}
+	return xskMap, nil
+}

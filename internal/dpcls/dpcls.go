@@ -1,0 +1,191 @@
+// Package dpcls implements the datapath classifier: the megaflow cache that
+// backs the EMC in the OVS userspace datapath.
+//
+// Megaflows are wildcarded flow entries produced by slow-path translation.
+// The classifier is a tuple-space search: one hash subtable per distinct
+// mask, probed in descending hit-count order (as OVS sorts subtables by
+// usage). Megaflows installed by ofproto translation are disjoint by
+// construction, so the first match wins and no priorities are needed.
+//
+// The paper's Section 2.2.2 explains why this structure could not move into
+// eBPF ("the sandbox restrictions ... preclude implementing the OVS megaflow
+// cache"), which is one of the reasons the AF_XDP userspace architecture
+// won.
+package dpcls
+
+import (
+	"fmt"
+	"sort"
+
+	"ovsxdp/internal/flow"
+)
+
+// Entry is one installed megaflow.
+type Entry struct {
+	// Mask selects the fields this megaflow constrains.
+	Mask flow.Mask
+	// MaskedKey is the key already masked (key.Apply(Mask)).
+	MaskedKey flow.Key
+	// Actions is the opaque action list the datapath executes; the
+	// classifier does not interpret it.
+	Actions any
+
+	// Hits counts packets matched, for revalidator heuristics.
+	Hits uint64
+}
+
+// String summarizes the entry.
+func (e *Entry) String() string {
+	return fmt.Sprintf("megaflow{bits=%d hits=%d %s}", e.Mask.Bits(), e.Hits, e.MaskedKey)
+}
+
+// subtable holds all megaflows sharing one mask.
+type subtable struct {
+	mask    flow.Mask
+	entries map[flow.Key]*Entry
+	hits    uint64
+}
+
+// Classifier is the tuple-space-search megaflow table. It is used from a
+// single PMD thread (each PMD owns one, as in OVS) so it needs no locking.
+type Classifier struct {
+	subtables []*subtable
+	basis     uint32
+	count     int
+
+	// Lookups and SubtableProbes feed the cost model: a lookup costs
+	// per-subtable-probed.
+	Lookups        uint64
+	SubtableProbes uint64
+	// resort counts down to the next usage-based reordering.
+	resort int
+}
+
+// New returns an empty classifier.
+func New(hashBasis uint32) *Classifier {
+	return &Classifier{basis: hashBasis, resort: resortInterval}
+}
+
+// resortInterval is how many lookups happen between subtable reorderings.
+const resortInterval = 1024
+
+// Lookup finds the megaflow matching key. It returns the entry and the
+// number of subtables probed (for cost accounting), or nil and the full
+// probe count on a miss.
+func (c *Classifier) Lookup(key flow.Key) (*Entry, int) {
+	c.Lookups++
+	probes := 0
+	for _, st := range c.subtables {
+		probes++
+		c.SubtableProbes++
+		if e, ok := st.entries[key.Apply(st.mask)]; ok {
+			e.Hits++
+			st.hits++
+			c.maybeResort()
+			return e, probes
+		}
+	}
+	c.maybeResort()
+	return nil, probes
+}
+
+func (c *Classifier) maybeResort() {
+	c.resort--
+	if c.resort > 0 {
+		return
+	}
+	c.resort = resortInterval
+	sort.SliceStable(c.subtables, func(i, j int) bool {
+		return c.subtables[i].hits > c.subtables[j].hits
+	})
+	for _, st := range c.subtables {
+		st.hits = 0
+	}
+}
+
+// Insert installs a megaflow for key under mask with the given actions and
+// returns the entry. Inserting a key that matches an existing entry of the
+// same mask replaces it.
+func (c *Classifier) Insert(key flow.Key, mask flow.Mask, actions any) *Entry {
+	st := c.findSubtable(mask)
+	if st == nil {
+		st = &subtable{mask: mask, entries: make(map[flow.Key]*Entry)}
+		c.subtables = append(c.subtables, st)
+	}
+	masked := key.Apply(mask)
+	if _, existed := st.entries[masked]; !existed {
+		c.count++
+	}
+	e := &Entry{Mask: mask, MaskedKey: masked, Actions: actions}
+	st.entries[masked] = e
+	return e
+}
+
+// Remove deletes the megaflow that entry represents. It reports whether an
+// entry was removed.
+func (c *Classifier) Remove(e *Entry) bool {
+	st := c.findSubtable(e.Mask)
+	if st == nil {
+		return false
+	}
+	if cur, ok := st.entries[e.MaskedKey]; !ok || cur != e {
+		return false
+	}
+	delete(st.entries, e.MaskedKey)
+	c.count--
+	if len(st.entries) == 0 {
+		c.dropSubtable(st)
+	}
+	return true
+}
+
+// Flush removes every megaflow.
+func (c *Classifier) Flush() {
+	c.subtables = nil
+	c.count = 0
+}
+
+// Len returns the number of installed megaflows.
+func (c *Classifier) Len() int { return c.count }
+
+// Subtables returns the number of distinct masks installed.
+func (c *Classifier) Subtables() int { return len(c.subtables) }
+
+// Entries returns all installed megaflows (for the revalidator); order is
+// unspecified.
+func (c *Classifier) Entries() []*Entry {
+	out := make([]*Entry, 0, c.count)
+	for _, st := range c.subtables {
+		for _, e := range st.entries {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// AvgProbes returns the mean subtables probed per lookup, the quantity the
+// cost model charges DpclsLookupPerSubtable for.
+func (c *Classifier) AvgProbes() float64 {
+	if c.Lookups == 0 {
+		return 0
+	}
+	return float64(c.SubtableProbes) / float64(c.Lookups)
+}
+
+func (c *Classifier) findSubtable(mask flow.Mask) *subtable {
+	for _, st := range c.subtables {
+		if st.mask == mask {
+			return st
+		}
+	}
+	return nil
+}
+
+func (c *Classifier) dropSubtable(st *subtable) {
+	for i, s := range c.subtables {
+		if s == st {
+			c.subtables = append(c.subtables[:i], c.subtables[i+1:]...)
+			return
+		}
+	}
+}

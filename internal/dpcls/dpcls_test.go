@@ -1,0 +1,254 @@
+package dpcls
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/packet/hdr"
+)
+
+func keyFor(srcIP hdr.IP4, dstPort uint16) flow.Key {
+	return (&flow.Fields{
+		EthType: hdr.EtherTypeIPv4,
+		IP4Src:  srcIP, IP4Dst: hdr.MakeIP4(10, 0, 0, 2),
+		IPProto: hdr.IPProtoUDP, TPDst: dstPort,
+	}).Pack()
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	c := New(0)
+	mask := flow.NewMaskBuilder().EthType().IPProto().TPDst().Build()
+	k := keyFor(hdr.MakeIP4(10, 0, 0, 1), 80)
+	c.Insert(k, mask, "to-port-2")
+
+	// Same dst port, different source: must match the wildcarded entry.
+	e, probes := c.Lookup(keyFor(hdr.MakeIP4(172, 16, 0, 5), 80))
+	if e == nil {
+		t.Fatal("wildcarded lookup missed")
+	}
+	if e.Actions != "to-port-2" {
+		t.Fatalf("actions = %v", e.Actions)
+	}
+	if probes != 1 {
+		t.Fatalf("probes = %d, want 1", probes)
+	}
+	if e.Hits != 1 {
+		t.Fatalf("hits = %d", e.Hits)
+	}
+
+	// Different dst port: miss.
+	if e, _ := c.Lookup(keyFor(hdr.MakeIP4(10, 0, 0, 1), 443)); e != nil {
+		t.Fatal("lookup for unmatched port must miss")
+	}
+}
+
+func TestMultipleSubtables(t *testing.T) {
+	c := New(0)
+	mPort := flow.NewMaskBuilder().EthType().IPProto().TPDst().Build()
+	mSrc := flow.NewMaskBuilder().EthType().IPProto().IP4Src(24).Build()
+	c.Insert(keyFor(hdr.MakeIP4(10, 1, 1, 1), 80), mPort, "port-rule")
+	c.Insert(keyFor(hdr.MakeIP4(10, 2, 2, 2), 0), mSrc, "subnet-rule")
+	if c.Subtables() != 2 {
+		t.Fatalf("subtables = %d", c.Subtables())
+	}
+	if e, _ := c.Lookup(keyFor(hdr.MakeIP4(10, 2, 2, 99), 9999)); e == nil || e.Actions != "subnet-rule" {
+		t.Fatalf("subnet lookup = %+v", e)
+	}
+	if e, _ := c.Lookup(keyFor(hdr.MakeIP4(192, 168, 0, 1), 80)); e == nil || e.Actions != "port-rule" {
+		t.Fatalf("port lookup = %+v", e)
+	}
+}
+
+func TestInsertReplacesSameMaskedKey(t *testing.T) {
+	c := New(0)
+	mask := flow.NewMaskBuilder().EthType().TPDst().Build()
+	k := keyFor(hdr.MakeIP4(1, 1, 1, 1), 80)
+	c.Insert(k, mask, "old")
+	c.Insert(keyFor(hdr.MakeIP4(2, 2, 2, 2), 80), mask, "new") // same masked key
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (replaced)", c.Len())
+	}
+	e, _ := c.Lookup(k)
+	if e == nil || e.Actions != "new" {
+		t.Fatalf("lookup = %+v", e)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(0)
+	mask := flow.NewMaskBuilder().EthType().TPDst().Build()
+	e := c.Insert(keyFor(hdr.MakeIP4(1, 1, 1, 1), 80), mask, "x")
+	if !c.Remove(e) {
+		t.Fatal("remove failed")
+	}
+	if c.Len() != 0 || c.Subtables() != 0 {
+		t.Fatalf("len=%d subtables=%d after remove", c.Len(), c.Subtables())
+	}
+	if c.Remove(e) {
+		t.Fatal("double remove must report false")
+	}
+	// Removing a stale entry (same key reinstalled) must not remove the
+	// new one.
+	e1 := c.Insert(keyFor(hdr.MakeIP4(1, 1, 1, 1), 80), mask, "a")
+	e2 := c.Insert(keyFor(hdr.MakeIP4(1, 1, 1, 1), 80), mask, "b")
+	if c.Remove(e1) {
+		t.Fatal("stale remove must fail")
+	}
+	if !c.Remove(e2) {
+		t.Fatal("current remove must succeed")
+	}
+}
+
+func TestProbeCountGrowsWithSubtables(t *testing.T) {
+	c := New(0)
+	masks := []flow.Mask{
+		flow.NewMaskBuilder().EthType().Build(),
+		flow.NewMaskBuilder().EthType().IPProto().Build(),
+		flow.NewMaskBuilder().EthType().IPProto().TPSrc().Build(),
+		flow.NewMaskBuilder().EthType().IPProto().TPSrc().TPDst().Build(),
+	}
+	for i, m := range masks {
+		k := (&flow.Fields{EthType: hdr.EtherTypeIPv6, IPProto: hdr.IPProtoTCP,
+			TPSrc: uint16(i + 1), TPDst: uint16(i + 100)}).Pack()
+		c.Insert(k, m, i)
+	}
+	// A missing key probes all subtables.
+	_, probes := c.Lookup(keyFor(hdr.MakeIP4(9, 9, 9, 9), 9))
+	if probes != len(masks) {
+		t.Fatalf("miss probes = %d, want %d", probes, len(masks))
+	}
+}
+
+func TestUsageBasedResort(t *testing.T) {
+	c := New(0)
+	// Subtable A installed first, subtable B second; then B gets all the
+	// traffic. After the resort interval, B must be probed first.
+	mA := flow.NewMaskBuilder().EthType().TPSrc().Build()
+	mB := flow.NewMaskBuilder().EthType().TPDst().Build()
+	kA := (&flow.Fields{EthType: hdr.EtherTypeIPv4, TPSrc: 7}).Pack()
+	kB := (&flow.Fields{EthType: hdr.EtherTypeIPv4, TPDst: 80}).Pack()
+	c.Insert(kA, mA, "a")
+	c.Insert(kB, mB, "b")
+
+	// Burn through more than resortInterval lookups on B.
+	for i := 0; i < resortInterval+10; i++ {
+		c.Lookup(kB)
+	}
+	_, probes := c.Lookup(kB)
+	if probes != 1 {
+		t.Fatalf("hot subtable should be probed first, probes = %d", probes)
+	}
+}
+
+func TestFlushAndEntries(t *testing.T) {
+	c := New(0)
+	mask := flow.NewMaskBuilder().EthType().TPDst().Build()
+	for i := 0; i < 5; i++ {
+		c.Insert(keyFor(hdr.MakeIP4(1, 1, 1, 1), uint16(i)), mask, i)
+	}
+	if len(c.Entries()) != 5 {
+		t.Fatalf("entries = %d", len(c.Entries()))
+	}
+	c.Flush()
+	if c.Len() != 0 || len(c.Entries()) != 0 {
+		t.Fatal("flush incomplete")
+	}
+}
+
+func TestAvgProbes(t *testing.T) {
+	c := New(0)
+	if c.AvgProbes() != 0 {
+		t.Fatal("no lookups: avg 0")
+	}
+	mask := flow.NewMaskBuilder().EthType().TPDst().Build()
+	c.Insert(keyFor(hdr.MakeIP4(1, 1, 1, 1), 80), mask, "x")
+	c.Lookup(keyFor(hdr.MakeIP4(1, 1, 1, 1), 80))
+	if c.AvgProbes() != 1 {
+		t.Fatalf("avg probes = %v", c.AvgProbes())
+	}
+}
+
+func TestDisjointMegaflowsFirstMatchWins(t *testing.T) {
+	// Megaflows from translation are disjoint: a packet matches exactly
+	// one. Verify a key matching subtable 2 is untouched by subtable 1.
+	c := New(0)
+	mTCP := flow.NewMaskBuilder().EthType().IPProto().TPDst().Build()
+	mUDP := flow.NewMaskBuilder().EthType().IPProto().TPSrc().Build()
+	tcpKey := (&flow.Fields{EthType: hdr.EtherTypeIPv4, IPProto: hdr.IPProtoTCP, TPDst: 22}).Pack()
+	udpKey := (&flow.Fields{EthType: hdr.EtherTypeIPv4, IPProto: hdr.IPProtoUDP, TPSrc: 53}).Pack()
+	c.Insert(tcpKey, mTCP, "tcp")
+	c.Insert(udpKey, mUDP, "udp")
+	if e, _ := c.Lookup(udpKey); e == nil || e.Actions != "udp" {
+		t.Fatalf("udp lookup = %+v", e)
+	}
+	if e, _ := c.Lookup(tcpKey); e == nil || e.Actions != "tcp" {
+		t.Fatalf("tcp lookup = %+v", e)
+	}
+}
+
+func BenchmarkLookup1Subtable(b *testing.B) {
+	c := New(0)
+	mask := flow.NewMaskBuilder().EthType().IPProto().TPDst().Build()
+	k := keyFor(hdr.MakeIP4(10, 0, 0, 1), 80)
+	c.Insert(k, mask, "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(k)
+	}
+}
+
+func BenchmarkLookup8Subtables(b *testing.B) {
+	c := New(0)
+	builders := []*flow.MaskBuilder{
+		flow.NewMaskBuilder().EthType(),
+		flow.NewMaskBuilder().EthType().IPProto(),
+		flow.NewMaskBuilder().EthType().IPProto().TPSrc(),
+		flow.NewMaskBuilder().EthType().IPProto().TPDst(),
+		flow.NewMaskBuilder().EthType().IP4Src(24),
+		flow.NewMaskBuilder().EthType().IP4Dst(24),
+		flow.NewMaskBuilder().EthType().IP4Src(32).IP4Dst(32),
+		flow.NewMaskBuilder().EthType().IPProto().TPSrc().TPDst(),
+	}
+	for i, mb := range builders {
+		k := (&flow.Fields{EthType: hdr.EtherTypeIPv6, IPProto: hdr.IPProtoTCP, TPSrc: uint16(i + 1)}).Pack()
+		c.Insert(k, mb.Build(), i)
+	}
+	// Lookup key that matches the last subtable most of the time.
+	k := keyFor(hdr.MakeIP4(10, 0, 0, 1), 80)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(k)
+	}
+}
+
+func TestInsertLookupProperty(t *testing.T) {
+	// Property: any inserted key is found by a lookup of any key equal to
+	// it under the mask, and missed by keys differing inside the mask.
+	f := func(srcIP, dstIP uint32, sport, dport uint16, flip uint8) bool {
+		c := New(0)
+		mask := flow.NewMaskBuilder().EthType().IPProto().IP4Src(32).TPDst().Build()
+		base := flow.Fields{
+			EthType: hdr.EtherTypeIPv4, IPProto: hdr.IPProtoTCP,
+			IP4Src: hdr.IP4(srcIP), IP4Dst: hdr.IP4(dstIP),
+			TPSrc: sport, TPDst: dport,
+		}
+		c.Insert(base.Pack(), mask, "v")
+
+		// Same masked fields, different unmasked fields: must hit.
+		same := base
+		same.IP4Dst ^= 0xffff
+		same.TPSrc ^= 0x5555
+		if e, _ := c.Lookup(same.Pack()); e == nil {
+			return false
+		}
+		// Change a masked field: must miss.
+		diff := base
+		diff.TPDst ^= uint16(flip) | 1
+		e, _ := c.Lookup(diff.Pack())
+		return e == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

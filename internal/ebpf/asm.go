@@ -1,0 +1,84 @@
+package ebpf
+
+import "fmt"
+
+// Asm is a small two-pass assembler that resolves symbolic labels to jump
+// offsets, so program authors do not hand-count instruction distances.
+//
+//	prog, err := NewAsm().
+//		I(Ldx(SizeW, R2, R1, CtxData)).
+//		I(Ldx(SizeW, R3, R1, CtxDataEnd)).
+//		I(Mov(R4, R2)).
+//		I(AddImm(R4, 14)).
+//		Jmp(Jgt(R4, R3, 0), "drop").
+//		I(MovImm(R0, XDPPass)).
+//		I(Exit()).
+//		Label("drop").
+//		I(MovImm(R0, XDPDrop)).
+//		I(Exit()).
+//		Assemble("my-prog")
+type Asm struct {
+	insns  []Insn
+	labels map[string]int // label -> instruction index
+	fixups map[int]string // instruction index -> label
+	errs   []error
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int), fixups: make(map[int]string)}
+}
+
+// I appends a literal instruction.
+func (a *Asm) I(in Insn) *Asm {
+	a.insns = append(a.insns, in)
+	return a
+}
+
+// Label defines a label at the current position.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("ebpf: duplicate label %q", name))
+	}
+	a.labels[name] = len(a.insns)
+	return a
+}
+
+// Jmp appends a jump whose offset is resolved to label at assembly time
+// (the Off field of in is ignored).
+func (a *Asm) Jmp(in Insn, label string) *Asm {
+	a.fixups[len(a.insns)] = label
+	a.insns = append(a.insns, in)
+	return a
+}
+
+// Assemble resolves labels and returns the finished program (not yet
+// loaded/verified).
+func (a *Asm) Assemble(name string) (*Program, error) {
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	insns := append([]Insn(nil), a.insns...)
+	for idx, label := range a.fixups {
+		target, ok := a.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("ebpf: undefined label %q", label)
+		}
+		off := target - (idx + 1)
+		if off < -32768 || off > 32767 {
+			return nil, fmt.Errorf("ebpf: jump to %q out of range", label)
+		}
+		insns[idx].Off = int16(off)
+	}
+	return NewProgram(name, insns...), nil
+}
+
+// MustAssemble is Assemble for statically-known-good programs; it panics on
+// error.
+func (a *Asm) MustAssemble(name string) *Program {
+	p, err := a.Assemble(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

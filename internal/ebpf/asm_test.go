@@ -1,0 +1,82 @@
+package ebpf
+
+import "testing"
+
+func TestAsmResolvesLabels(t *testing.T) {
+	p, err := NewAsm().
+		I(Ldx(SizeW, R2, R1, CtxData)).
+		I(Ldx(SizeW, R3, R1, CtxDataEnd)).
+		I(Mov(R4, R2)).
+		I(AddImm(R4, 14)).
+		Jmp(Jgt(R4, R3, 0), "drop").
+		I(MovImm(R0, XDPPass)).
+		I(Exit()).
+		Label("drop").
+		I(MovImm(R0, XDPDrop)).
+		I(Exit()).
+		Assemble("labeled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load(); err != nil {
+		t.Fatalf("assembled program rejected: %v", err)
+	}
+	// Jump at index 4 must point to index 7: off = 7 - 5 = 2.
+	if p.Insns[4].Off != 2 {
+		t.Fatalf("resolved offset = %d, want 2", p.Insns[4].Off)
+	}
+	// Execution: short packet drops, long packet passes.
+	res, err := p.Run(&Context{Packet: make([]byte, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != XDPDrop {
+		t.Fatalf("short packet action = %d", res.Action)
+	}
+	res, _ = p.Run(&Context{Packet: make([]byte, 64)})
+	if res.Action != XDPPass {
+		t.Fatalf("long packet action = %d", res.Action)
+	}
+}
+
+func TestAsmUndefinedLabel(t *testing.T) {
+	_, err := NewAsm().Jmp(Ja(0), "nowhere").I(Exit()).Assemble("bad")
+	if err == nil {
+		t.Fatal("undefined label must fail")
+	}
+}
+
+func TestAsmDuplicateLabel(t *testing.T) {
+	_, err := NewAsm().Label("x").I(MovImm(R0, 0)).Label("x").I(Exit()).Assemble("dup")
+	if err == nil {
+		t.Fatal("duplicate label must fail")
+	}
+}
+
+func TestAsmForwardAndFallthrough(t *testing.T) {
+	// A label on the immediately following instruction yields offset 0.
+	p, err := NewAsm().
+		I(MovImm(R0, 1)).
+		Jmp(Ja(0), "next").
+		Label("next").
+		I(Exit()).
+		Assemble("fall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insns[1].Off != 0 {
+		t.Fatalf("offset = %d, want 0", p.Insns[1].Off)
+	}
+	if err := p.Load(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustAssemblePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble must panic on bad input")
+		}
+	}()
+	NewAsm().Jmp(Ja(0), "missing").MustAssemble("boom")
+}

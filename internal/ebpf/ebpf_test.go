@@ -1,0 +1,585 @@
+package ebpf
+
+import (
+	"strings"
+	"testing"
+)
+
+// progDrop is the minimal valid program: return XDP_DROP.
+func progDrop() *Program {
+	return NewProgram("drop", MovImm(R0, XDPDrop), Exit())
+}
+
+// progParseEth bounds-checks 14 bytes and reads the EtherType.
+func progParseEth() *Program {
+	return NewProgram("parse-eth",
+		Ldx(SizeW, R2, R1, CtxData),    // r2 = data
+		Ldx(SizeW, R3, R1, CtxDataEnd), // r3 = data_end
+		Mov(R4, R2),
+		AddImm(R4, 14),
+		Jgt(R4, R3, 3), // if data+14 > data_end goto drop
+		Ldx(SizeH, R5, R2, 12),
+		MovImm(R0, XDPPass),
+		Exit(),
+		MovImm(R0, XDPDrop), // drop:
+		Exit(),
+	)
+}
+
+func TestVerifyAcceptsMinimal(t *testing.T) {
+	p := progDrop()
+	if err := p.Load(); err != nil {
+		t.Fatalf("minimal program rejected: %v", err)
+	}
+	if !p.Verified() {
+		t.Fatal("Verified must be true after Load")
+	}
+}
+
+func TestVerifyAcceptsBoundsCheckedParse(t *testing.T) {
+	if err := progParseEth().Load(); err != nil {
+		t.Fatalf("bounds-checked parse rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsEmptyProgram(t *testing.T) {
+	if err := NewProgram("empty").Load(); err == nil {
+		t.Fatal("empty program must be rejected")
+	}
+}
+
+func TestVerifyRejectsOversizedProgram(t *testing.T) {
+	insns := make([]Insn, 0, MaxInsns+2)
+	for i := 0; i < MaxInsns+1; i++ {
+		insns = append(insns, MovImm(R0, 0))
+	}
+	insns = append(insns, Exit())
+	err := NewProgram("big", insns...).Load()
+	if err == nil || !strings.Contains(err.Error(), "too large") {
+		t.Fatalf("oversized program error = %v", err)
+	}
+}
+
+func TestVerifyRejectsLoop(t *testing.T) {
+	p := NewProgram("loop",
+		MovImm(R0, 0),
+		AddImm(R0, 1),
+		Ja(-2), // back to the add
+		Exit(),
+	)
+	err := p.Load()
+	if err == nil || !strings.Contains(err.Error(), "back-edge") {
+		t.Fatalf("loop error = %v", err)
+	}
+}
+
+func TestVerifyRejectsUninitializedRegister(t *testing.T) {
+	p := NewProgram("uninit",
+		Mov(R0, R5), // r5 never written
+		Exit(),
+	)
+	err := p.Load()
+	if err == nil || !strings.Contains(err.Error(), "uninitialized") {
+		t.Fatalf("uninit error = %v", err)
+	}
+}
+
+func TestVerifyRejectsUncheckedPacketLoad(t *testing.T) {
+	p := NewProgram("unchecked",
+		Ldx(SizeW, R2, R1, CtxData),
+		Ldx(SizeH, R3, R2, 12), // no data_end check
+		MovImm(R0, XDPPass),
+		Exit(),
+	)
+	err := p.Load()
+	if err == nil || !strings.Contains(err.Error(), "data_end") {
+		t.Fatalf("unchecked load error = %v", err)
+	}
+}
+
+func TestVerifyRejectsLoadBeyondCheckedBounds(t *testing.T) {
+	p := NewProgram("beyond",
+		Ldx(SizeW, R2, R1, CtxData),
+		Ldx(SizeW, R3, R1, CtxDataEnd),
+		Mov(R4, R2),
+		AddImm(R4, 14),
+		Jgt(R4, R3, 3),
+		Ldx(SizeW, R5, R2, 14), // needs 18 bytes, only 14 checked
+		MovImm(R0, XDPPass),
+		Exit(),
+		MovImm(R0, XDPDrop),
+		Exit(),
+	)
+	if err := p.Load(); err == nil {
+		t.Fatal("load beyond verified bounds must be rejected")
+	}
+}
+
+func TestVerifyRejectsFallOffEnd(t *testing.T) {
+	p := NewProgram("falloff", MovImm(R0, 0)) // no exit
+	if err := p.Load(); err == nil {
+		t.Fatal("program without exit must be rejected")
+	}
+}
+
+func TestVerifyRejectsWriteToR10(t *testing.T) {
+	p := NewProgram("r10", MovImm(R10, 0), MovImm(R0, 0), Exit())
+	err := p.Load()
+	if err == nil || !strings.Contains(err.Error(), "r10") {
+		t.Fatalf("r10 write error = %v", err)
+	}
+}
+
+func TestVerifyRejectsVariablePacketOffset(t *testing.T) {
+	p := NewProgram("varoff",
+		Ldx(SizeW, R2, R1, CtxData),
+		Ldx(SizeW, R3, R1, CtxDataEnd),
+		Ldx(SizeW, R5, R1, CtxRxQueue), // unknown scalar
+		Add(R2, R5),                    // pkt += variable
+		MovImm(R0, XDPPass),
+		Exit(),
+	)
+	err := p.Load()
+	if err == nil || !strings.Contains(err.Error(), "constant") {
+		t.Fatalf("variable offset error = %v", err)
+	}
+}
+
+func TestVerifyRejectsUnNullCheckedMapValue(t *testing.T) {
+	m := NewHashMap(4, 8, 16)
+	p := NewProgram("nullderef",
+		St(SizeW, R10, -4, 7), // key on stack
+		MovImm(R1, 1),
+		Mov(R2, R10),
+		AddImm(R2, -4),
+		Call(HelperMapLookup),
+		Ldx(SizeW, R3, R0, 0), // deref without null check
+		MovImm(R0, XDPPass),
+		Exit(),
+	).AttachMap(1, m)
+	err := p.Load()
+	if err == nil || !strings.Contains(err.Error(), "null") {
+		t.Fatalf("null deref error = %v", err)
+	}
+}
+
+func TestVerifyAcceptsNullCheckedMapValue(t *testing.T) {
+	m := NewHashMap(4, 8, 16)
+	p := NewProgram("nullok",
+		St(SizeW, R10, -4, 7),
+		MovImm(R1, 1),
+		Mov(R2, R10),
+		AddImm(R2, -4),
+		Call(HelperMapLookup),
+		JeqImm(R0, 0, 2), // null check
+		Ldx(SizeW, R3, R0, 0),
+		Mov(R0, R3),
+		Exit(),
+	).AttachMap(1, m)
+	if err := p.Load(); err != nil {
+		t.Fatalf("null-checked program rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsUninitializedStackKey(t *testing.T) {
+	m := NewHashMap(4, 8, 16)
+	p := NewProgram("badkey",
+		MovImm(R1, 1),
+		Mov(R2, R10),
+		AddImm(R2, -4), // key bytes never written
+		Call(HelperMapLookup),
+		MovImm(R0, 0),
+		Exit(),
+	).AttachMap(1, m)
+	err := p.Load()
+	if err == nil || !strings.Contains(err.Error(), "uninitialized stack") {
+		t.Fatalf("bad key error = %v", err)
+	}
+}
+
+func TestVerifyRejectsUnknownMap(t *testing.T) {
+	p := NewProgram("nomap",
+		St(SizeW, R10, -4, 7),
+		MovImm(R1, 99),
+		Mov(R2, R10),
+		AddImm(R2, -4),
+		Call(HelperMapLookup),
+		MovImm(R0, 0),
+		Exit(),
+	)
+	if err := p.Load(); err == nil {
+		t.Fatal("unknown map id must be rejected")
+	}
+}
+
+func TestVerifyRejectsRedirectOnHashMap(t *testing.T) {
+	m := NewHashMap(4, 4, 4)
+	p := NewProgram("badredirect",
+		MovImm(R1, 1),
+		MovImm(R2, 0),
+		MovImm(R3, 0),
+		Call(HelperRedirectMap),
+		Exit(),
+	).AttachMap(1, m)
+	err := p.Load()
+	if err == nil || !strings.Contains(err.Error(), "devmap") {
+		t.Fatalf("redirect on hash error = %v", err)
+	}
+}
+
+func TestVerifyRejectsStackOutOfBounds(t *testing.T) {
+	p := NewProgram("stackoob",
+		St(SizeW, R10, -(StackSize+8), 1),
+		MovImm(R0, 0),
+		Exit(),
+	)
+	if err := p.Load(); err == nil {
+		t.Fatal("stack store below the frame must be rejected")
+	}
+}
+
+func TestVerifyRejectsDivByZeroImm(t *testing.T) {
+	p := NewProgram("div0",
+		MovImm(R0, 10),
+		Insn{Op: OpDiv, Dst: R0, Imm: 0, UseImm: true},
+		Exit(),
+	)
+	if err := p.Load(); err == nil {
+		t.Fatal("division by zero immediate must be rejected")
+	}
+}
+
+func TestVerifyRejectsHelperArgClobberUse(t *testing.T) {
+	// R1-R5 are clobbered by a call; using R2 afterwards is an error.
+	m := NewHashMap(4, 4, 4)
+	p := NewProgram("clobber",
+		St(SizeW, R10, -4, 7),
+		MovImm(R1, 1),
+		Mov(R2, R10),
+		AddImm(R2, -4),
+		Call(HelperMapLookup),
+		Mov(R0, R2), // R2 was clobbered
+		Exit(),
+	).AttachMap(1, m)
+	err := p.Load()
+	if err == nil || !strings.Contains(err.Error(), "uninitialized") {
+		t.Fatalf("clobber use error = %v", err)
+	}
+}
+
+// --- Execution ---------------------------------------------------------------
+
+func mustLoad(t *testing.T, p *Program) *Program {
+	t.Helper()
+	if err := p.Load(); err != nil {
+		t.Fatalf("load %s: %v", p.Name, err)
+	}
+	return p
+}
+
+func TestRunDrop(t *testing.T) {
+	p := mustLoad(t, progDrop())
+	res, err := p.Run(&Context{Packet: make([]byte, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != XDPDrop {
+		t.Fatalf("action = %d", res.Action)
+	}
+	if res.Insns != 2 {
+		t.Fatalf("insns = %d, want 2", res.Insns)
+	}
+	if res.TouchedPacket {
+		t.Fatal("drop-only program must not touch the packet")
+	}
+}
+
+func TestRunUnloadedFails(t *testing.T) {
+	if _, err := progDrop().Run(&Context{}); err == nil {
+		t.Fatal("running an unloaded program must fail")
+	}
+}
+
+func TestRunParsePassAndDrop(t *testing.T) {
+	p := mustLoad(t, progParseEth())
+	// 64-byte packet: bounds check passes.
+	res, err := p.Run(&Context{Packet: make([]byte, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != XDPPass {
+		t.Fatalf("action = %d, want pass", res.Action)
+	}
+	if !res.TouchedPacket {
+		t.Fatal("parse must touch the packet")
+	}
+	// 10-byte runt: bounds check fails -> drop.
+	res, err = p.Run(&Context{Packet: make([]byte, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != XDPDrop {
+		t.Fatalf("runt action = %d, want drop", res.Action)
+	}
+}
+
+func TestRunPacketLoadIsBigEndian(t *testing.T) {
+	p := mustLoad(t, NewProgram("ethertype",
+		Ldx(SizeW, R2, R1, CtxData),
+		Ldx(SizeW, R3, R1, CtxDataEnd),
+		Mov(R4, R2),
+		AddImm(R4, 14),
+		Jgt(R4, R3, 2),
+		Ldx(SizeH, R0, R2, 12), // return EtherType
+		Exit(),
+		MovImm(R0, 0),
+		Exit(),
+	))
+	pkt := make([]byte, 64)
+	pkt[12], pkt[13] = 0x08, 0x00 // IPv4
+	res, err := p.Run(&Context{Packet: pkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != 0x0800 {
+		t.Fatalf("ethertype = %#x, want 0x0800", res.Action)
+	}
+}
+
+func TestRunPacketWrite(t *testing.T) {
+	// Swap the first two bytes of the destination MAC.
+	p := mustLoad(t, NewProgram("rewrite",
+		Ldx(SizeW, R2, R1, CtxData),
+		Ldx(SizeW, R3, R1, CtxDataEnd),
+		Mov(R4, R2),
+		AddImm(R4, 14),
+		Jgt(R4, R3, 4),
+		St(SizeB, R2, 0, 0xaa),
+		St(SizeB, R2, 1, 0xbb),
+		MovImm(R0, XDPTx),
+		Exit(),
+		MovImm(R0, XDPDrop),
+		Exit(),
+	))
+	pkt := make([]byte, 64)
+	res, err := p.Run(&Context{Packet: pkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != XDPTx || !res.WrotePacket {
+		t.Fatalf("res = %+v", res)
+	}
+	if pkt[0] != 0xaa || pkt[1] != 0xbb {
+		t.Fatal("packet rewrite not visible")
+	}
+}
+
+func TestRunMapLookupHitAndMiss(t *testing.T) {
+	m := NewHashMap(4, 8, 16)
+	if err := m.Update([]byte{7, 0, 0, 0}, []byte{42, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	p := mustLoad(t, NewProgram("lookup",
+		St(SizeW, R10, -4, 7), // key = 7 (LE on stack)
+		MovImm(R1, 1),
+		Mov(R2, R10),
+		AddImm(R2, -4),
+		Call(HelperMapLookup),
+		JeqImm(R0, 0, 2),
+		Ldx(SizeB, R0, R0, 0), // return first value byte
+		Exit(),
+		MovImm(R0, 0xff), // miss marker
+		Exit(),
+	).AttachMap(1, m))
+	res, err := p.Run(&Context{Packet: make([]byte, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != 42 {
+		t.Fatalf("hit action = %d, want 42", res.Action)
+	}
+	if res.HashLookups != 1 {
+		t.Fatalf("hash lookups = %d", res.HashLookups)
+	}
+
+	// Remove the key: lookup now misses.
+	if err := m.Delete([]byte{7, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.Run(&Context{Packet: make([]byte, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != 0xff {
+		t.Fatalf("miss action = %d, want 0xff", res.Action)
+	}
+}
+
+func TestRunMapValueWriteThrough(t *testing.T) {
+	// Programs can increment counters in map values in place.
+	m := NewArrayMap(8, 4)
+	p := mustLoad(t, NewProgram("counter",
+		St(SizeW, R10, -4, 0), // index 0
+		MovImm(R1, 1),
+		Mov(R2, R10),
+		AddImm(R2, -4),
+		Call(HelperMapLookup),
+		JeqImm(R0, 0, 4),
+		Ldx(SizeDW, R3, R0, 0),
+		AddImm(R3, 1),
+		Stx(SizeDW, R0, 0, R3),
+		Mov(R0, R3),
+		Exit(),
+	).AttachMap(1, m))
+	for i := 1; i <= 3; i++ {
+		res, err := p.Run(&Context{Packet: make([]byte, 64)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Action != int64(i) {
+			t.Fatalf("counter = %d, want %d", res.Action, i)
+		}
+		if res.ArrayLookups != 1 {
+			t.Fatalf("array lookups = %d", res.ArrayLookups)
+		}
+	}
+}
+
+func TestRunRedirectMap(t *testing.T) {
+	xsk := NewXskMap(4)
+	if err := xsk.SetTarget(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	p := mustLoad(t, NewProgram("to-xsk",
+		Ldx(SizeW, R2, R1, CtxRxQueue),
+		MovImm(R1, 1),
+		Mov(R3, R2), // index = rx queue
+		Mov(R2, R3),
+		MovImm(R3, XDPPass), // flags/fallback
+		Call(HelperRedirectMap),
+		Exit(),
+	).AttachMap(1, xsk))
+	res, err := p.Run(&Context{Packet: make([]byte, 64), RxQueue: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != XDPRedirect || res.RedirectIndex != 0 || res.RedirectMap != Map(xsk) {
+		t.Fatalf("redirect result = %+v", res)
+	}
+	// Queue with no socket: fallback action.
+	res, err = p.Run(&Context{Packet: make([]byte, 64), RxQueue: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != XDPPass {
+		t.Fatalf("fallback action = %d", res.Action)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	text := progParseEth().Disassemble()
+	for _, want := range []string{"ldxw", "jgt", "exit", "mov"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// --- Maps --------------------------------------------------------------------
+
+func TestHashMapBasics(t *testing.T) {
+	m := NewHashMap(2, 2, 2)
+	if err := m.Update([]byte{1, 2}, []byte{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Lookup([]byte{1, 2}); v == nil || v[0] != 3 {
+		t.Fatalf("lookup = %v", v)
+	}
+	if m.Lookup([]byte{9, 9}) != nil {
+		t.Fatal("missing key must return nil")
+	}
+	if err := m.Update([]byte{1}, []byte{3, 4}); err == nil {
+		t.Fatal("bad key size must fail")
+	}
+	if err := m.Update([]byte{1, 2}, []byte{3}); err == nil {
+		t.Fatal("bad value size must fail")
+	}
+	if err := m.Update([]byte{5, 6}, []byte{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update([]byte{7, 8}, []byte{9, 9}); err == nil {
+		t.Fatal("full map must reject new keys")
+	}
+	if err := m.Update([]byte{1, 2}, []byte{9, 9}); err != nil {
+		t.Fatal("replacing existing key in full map must work")
+	}
+	if err := m.Delete([]byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete([]byte{1, 2}); err == nil {
+		t.Fatal("double delete must fail")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestArrayMapBasics(t *testing.T) {
+	m := NewArrayMap(4, 8)
+	if m.Len() != 8 || m.MaxEntries() != 8 {
+		t.Fatal("array map must be fully populated")
+	}
+	key := []byte{2, 0, 0, 0}
+	if err := m.Update(key, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Lookup(key); v[2] != 3 {
+		t.Fatalf("lookup = %v", v)
+	}
+	if m.Lookup([]byte{200, 0, 0, 0}) != nil {
+		t.Fatal("out-of-range index must return nil")
+	}
+	if err := m.Delete(key); err == nil {
+		t.Fatal("array delete must fail")
+	}
+}
+
+func TestTargetMapBasics(t *testing.T) {
+	m := NewDevMap(4)
+	if m.Type() != MapTypeDevMap {
+		t.Fatal("type wrong")
+	}
+	if err := m.SetTarget(1, 99); err != nil {
+		t.Fatal(err)
+	}
+	if tgt, ok := m.Target(1); !ok || tgt != 99 {
+		t.Fatalf("target = %d,%v", tgt, ok)
+	}
+	if _, ok := m.Target(0); ok {
+		t.Fatal("unset slot must be absent")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if err := m.Delete([]byte{1, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Target(1); ok {
+		t.Fatal("deleted slot must be absent")
+	}
+	if err := m.SetTarget(9, 1); err == nil {
+		t.Fatal("out-of-range set must fail")
+	}
+}
+
+func BenchmarkRunParse(b *testing.B) {
+	p := progParseEth()
+	if err := p.Load(); err != nil {
+		b.Fatal(err)
+	}
+	ctx := &Context{Packet: make([]byte, 64)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Run(ctx)
+	}
+}

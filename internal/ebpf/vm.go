@@ -1,0 +1,468 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Program is a loadable eBPF program: instructions plus references to the
+// maps it uses (by small integer id, the analog of a map fd embedded at load
+// time).
+type Program struct {
+	Name  string
+	Insns []Insn
+	maps  map[int64]Map
+
+	verified bool
+}
+
+// NewProgram builds a program from instructions.
+func NewProgram(name string, insns ...Insn) *Program {
+	return &Program{Name: name, Insns: insns, maps: make(map[int64]Map)}
+}
+
+// AttachMap registers m under id so instructions can reference it. It must
+// be called before Verify.
+func (p *Program) AttachMap(id int64, m Map) *Program {
+	p.maps[id] = m
+	return p
+}
+
+// MapByID exposes an attached map (for control-plane updates).
+func (p *Program) MapByID(id int64) Map { return p.mapByID(id) }
+
+func (p *Program) mapByID(id int64) Map {
+	if p.maps == nil {
+		return nil
+	}
+	return p.maps[id]
+}
+
+// Load verifies the program, marking it runnable — the analog of the BPF
+// syscall passing the in-kernel verifier in the paper's Figure 4 workflow.
+func (p *Program) Load() error {
+	if err := Verify(p); err != nil {
+		return err
+	}
+	p.verified = true
+	return nil
+}
+
+// Verified reports whether Load has succeeded.
+func (p *Program) Verified() bool { return p.verified }
+
+// Disassemble returns the program listing, one instruction per line.
+func (p *Program) Disassemble() string {
+	out := ""
+	for i, in := range p.Insns {
+		out += fmt.Sprintf("%3d: %s\n", i, in)
+	}
+	return out
+}
+
+// Context is the XDP execution context (struct xdp_md analog). Packet is
+// mutable: programs may rewrite headers in place.
+type Context struct {
+	Packet       []byte
+	IngressIface uint32
+	RxQueue      uint32
+}
+
+// Result summarizes one program execution. The counters feed the
+// simulation's cost model (Table 5 charges per instruction, per map lookup,
+// and per first packet touch).
+type Result struct {
+	// Action is the XDP action code in R0 at exit.
+	Action int64
+	// Redirect describes the redirect_map target when Action is
+	// XDPRedirect.
+	RedirectMap   Map
+	RedirectIndex uint32
+
+	// Execution counters for cost metering.
+	Insns         int
+	HashLookups   int
+	ArrayLookups  int
+	OtherHelpers  int
+	TouchedPacket bool
+	WrotePacket   bool
+}
+
+// Virtual address-space bases used by the interpreter. Verified programs
+// never fabricate addresses, but the interpreter still range-checks every
+// access and fails closed.
+const (
+	vaPacket   = 0x1000_0000
+	vaStackTop = 0x2000_0000 // stack grows down from here
+	vaCtx      = 0x3000_0000
+	vaMapVal   = 0x4000_0000
+	mapValStep = 0x0001_0000
+)
+
+// ErrRuntime reports a fault during execution (impossible for verified
+// programs unless the harness mutates state underneath them).
+type ErrRuntime struct {
+	PC     int
+	Reason string
+}
+
+func (e *ErrRuntime) Error() string {
+	return fmt.Sprintf("ebpf: runtime fault at insn %d: %s", e.PC, e.Reason)
+}
+
+// Run executes the program against ctx. The program must have been Loaded.
+//
+// Memory model: loads and stores through packet pointers are big-endian
+// (network byte order, as if the program applied ntohs/ntohl at each load);
+// stack and map-value accesses are little-endian (host order). This spares
+// the sample programs explicit byte-swap instructions without changing
+// their structure or cost.
+func (p *Program) Run(ctx *Context) (Result, error) {
+	var res Result
+	if !p.verified {
+		return res, fmt.Errorf("ebpf: program %q not loaded", p.Name)
+	}
+
+	var regs [NumRegs]uint64
+	var stack [StackSize]byte
+	regs[R1] = vaCtx
+	regs[R10] = vaStackTop
+
+	// Map-value regions handed out by map_lookup during this run.
+	var mapVals [][]byte
+
+	resolve := func(addr uint64, size int, pc int) ([]byte, bool, error) {
+		switch {
+		case addr >= vaPacket && addr+uint64(size) <= vaPacket+uint64(len(ctx.Packet)):
+			off := addr - vaPacket
+			return ctx.Packet[off : off+uint64(size)], true, nil
+		case addr <= vaStackTop && addr >= vaStackTop-StackSize && addr+uint64(size) <= vaStackTop:
+			off := StackSize - (vaStackTop - addr)
+			return stack[off : off+uint64(size)], false, nil
+		case addr >= vaMapVal:
+			idx := (addr - vaMapVal) / mapValStep
+			if int(idx) < len(mapVals) {
+				off := (addr - vaMapVal) % mapValStep
+				v := mapVals[idx]
+				if off+uint64(size) <= uint64(len(v)) {
+					return v[off : off+uint64(size)], false, nil
+				}
+			}
+		}
+		return nil, false, &ErrRuntime{pc, fmt.Sprintf("bad memory access at %#x size %d", addr, size)}
+	}
+
+	const maxExec = 2 * MaxInsns // loop-free programs can't exceed len(Insns)
+	pc := 0
+	for steps := 0; ; steps++ {
+		if steps > maxExec {
+			return res, &ErrRuntime{pc, "instruction budget exceeded"}
+		}
+		if pc < 0 || pc >= len(p.Insns) {
+			return res, &ErrRuntime{pc, "pc out of range"}
+		}
+		in := p.Insns[pc]
+		res.Insns++
+
+		src := regs[0] // placeholder
+		if in.UseImm {
+			src = uint64(in.Imm)
+		} else {
+			src = regs[in.Src]
+		}
+
+		switch in.Op {
+		case OpMov:
+			regs[in.Dst] = src
+		case OpAdd:
+			regs[in.Dst] += src
+		case OpSub:
+			regs[in.Dst] -= src
+		case OpMul:
+			regs[in.Dst] *= src
+		case OpDiv:
+			if src == 0 {
+				regs[in.Dst] = 0
+			} else {
+				regs[in.Dst] /= src
+			}
+		case OpMod:
+			if src == 0 {
+				regs[in.Dst] = 0
+			} else {
+				regs[in.Dst] %= src
+			}
+		case OpAnd:
+			regs[in.Dst] &= src
+		case OpOr:
+			regs[in.Dst] |= src
+		case OpXor:
+			regs[in.Dst] ^= src
+		case OpLsh:
+			regs[in.Dst] <<= src & 63
+		case OpRsh:
+			regs[in.Dst] >>= src & 63
+		case OpNeg:
+			regs[in.Dst] = -regs[in.Dst]
+
+		case OpLdx:
+			if regs[in.Src] == vaCtx {
+				switch int64(in.Off) {
+				case CtxData:
+					regs[in.Dst] = vaPacket
+				case CtxDataEnd:
+					regs[in.Dst] = vaPacket + uint64(len(ctx.Packet))
+				case CtxIngressIface:
+					regs[in.Dst] = uint64(ctx.IngressIface)
+				case CtxRxQueue:
+					regs[in.Dst] = uint64(ctx.RxQueue)
+				default:
+					return res, &ErrRuntime{pc, "bad ctx offset"}
+				}
+				break
+			}
+			addr := regs[in.Src] + uint64(int64(in.Off))
+			mem, isPkt, err := resolve(addr, int(in.Size), pc)
+			if err != nil {
+				return res, err
+			}
+			if isPkt {
+				res.TouchedPacket = true
+				regs[in.Dst] = loadBE(mem)
+			} else {
+				regs[in.Dst] = loadLE(mem)
+			}
+
+		case OpStx, OpSt:
+			addr := regs[in.Dst] + uint64(int64(in.Off))
+			mem, isPkt, err := resolve(addr, int(in.Size), pc)
+			if err != nil {
+				return res, err
+			}
+			val := src
+			if in.Op == OpStx {
+				val = regs[in.Src]
+			} else {
+				val = uint64(in.Imm)
+			}
+			if isPkt {
+				res.WrotePacket = true
+				storeBE(mem, val)
+			} else {
+				storeLE(mem, val)
+			}
+
+		case OpJa:
+			pc += int(in.Off)
+		case OpJeq:
+			if regs[in.Dst] == src {
+				pc += int(in.Off)
+			}
+		case OpJne:
+			if regs[in.Dst] != src {
+				pc += int(in.Off)
+			}
+		case OpJgt:
+			if regs[in.Dst] > src {
+				pc += int(in.Off)
+			}
+		case OpJge:
+			if regs[in.Dst] >= src {
+				pc += int(in.Off)
+			}
+		case OpJlt:
+			if regs[in.Dst] < src {
+				pc += int(in.Off)
+			}
+		case OpJle:
+			if regs[in.Dst] <= src {
+				pc += int(in.Off)
+			}
+		case OpJset:
+			if regs[in.Dst]&src != 0 {
+				pc += int(in.Off)
+			}
+
+		case OpCall:
+			if err := p.call(ctx, Helper(in.Imm), &regs, stack[:], &mapVals, &res, pc); err != nil {
+				return res, err
+			}
+
+		case OpExit:
+			res.Action = int64(regs[R0])
+			return res, nil
+
+		default:
+			return res, &ErrRuntime{pc, "bad opcode"}
+		}
+		pc++
+	}
+}
+
+// call dispatches a helper.
+func (p *Program) call(ctx *Context, h Helper, regs *[NumRegs]uint64, stack []byte, mapVals *[][]byte, res *Result, pc int) error {
+	readMem := func(addr uint64, n int) ([]byte, error) {
+		switch {
+		case addr >= vaPacket && addr+uint64(n) <= vaPacket+uint64(len(ctx.Packet)):
+			off := addr - vaPacket
+			res.TouchedPacket = true
+			return ctx.Packet[off : off+uint64(n)], nil
+		case addr <= vaStackTop && addr >= vaStackTop-StackSize && addr+uint64(n) <= vaStackTop:
+			off := StackSize - (vaStackTop - addr)
+			return stack[off : off+uint64(n)], nil
+		}
+		return nil, &ErrRuntime{pc, fmt.Sprintf("helper pointer %#x out of range", addr)}
+	}
+	clobber := func(r0 uint64) {
+		regs[R0] = r0
+		for r := R1; r <= R5; r++ {
+			regs[r] = 0xdead // poison, matching the ABI
+		}
+	}
+
+	switch h {
+	case HelperMapLookup:
+		m := p.mapByID(int64(regs[R1]))
+		if m == nil {
+			return &ErrRuntime{pc, "map_lookup on unknown map"}
+		}
+		key, err := readMem(regs[R2], m.KeySize())
+		if err != nil {
+			return err
+		}
+		switch m.Type() {
+		case MapTypeArray:
+			res.ArrayLookups++
+		default:
+			res.HashLookups++
+		}
+		v := m.Lookup(key)
+		if v == nil {
+			clobber(0)
+			return nil
+		}
+		*mapVals = append(*mapVals, v)
+		clobber(vaMapVal + uint64(len(*mapVals)-1)*mapValStep)
+		return nil
+
+	case HelperMapUpdate:
+		m := p.mapByID(int64(regs[R1]))
+		if m == nil {
+			return &ErrRuntime{pc, "map_update on unknown map"}
+		}
+		key, err := readMem(regs[R2], m.KeySize())
+		if err != nil {
+			return err
+		}
+		val, err := readMem(regs[R3], m.ValueSize())
+		if err != nil {
+			return err
+		}
+		res.OtherHelpers++
+		if err := m.Update(key, val); err != nil {
+			clobber(^uint64(0)) // -1
+		} else {
+			clobber(0)
+		}
+		return nil
+
+	case HelperMapDelete:
+		m := p.mapByID(int64(regs[R1]))
+		if m == nil {
+			return &ErrRuntime{pc, "map_delete on unknown map"}
+		}
+		key, err := readMem(regs[R2], m.KeySize())
+		if err != nil {
+			return err
+		}
+		res.OtherHelpers++
+		if err := m.Delete(key); err != nil {
+			clobber(^uint64(0))
+		} else {
+			clobber(0)
+		}
+		return nil
+
+	case HelperRedirectMap:
+		m := p.mapByID(int64(regs[R1]))
+		if m == nil {
+			return &ErrRuntime{pc, "redirect_map on unknown map"}
+		}
+		tm, ok := m.(*TargetMap)
+		if !ok {
+			return &ErrRuntime{pc, "redirect_map on non-target map"}
+		}
+		res.OtherHelpers++
+		idx := uint32(regs[R2])
+		if _, ok := tm.Target(idx); !ok {
+			// Kernel behaviour: fall back to the flags value
+			// (commonly XDP_ABORTED or XDP_PASS).
+			clobber(uint64(regs[R3]))
+			return nil
+		}
+		res.RedirectMap = m
+		res.RedirectIndex = idx
+		clobber(XDPRedirect)
+		return nil
+
+	case HelperCsumReplace:
+		res.OtherHelpers++
+		clobber(0)
+		return nil
+
+	default:
+		return &ErrRuntime{pc, fmt.Sprintf("unknown helper %d", int64(h))}
+	}
+}
+
+func loadBE(b []byte) uint64 {
+	switch len(b) {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.BigEndian.Uint16(b))
+	case 4:
+		return uint64(binary.BigEndian.Uint32(b))
+	default:
+		return binary.BigEndian.Uint64(b)
+	}
+}
+
+func storeBE(b []byte, v uint64) {
+	switch len(b) {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.BigEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.BigEndian.PutUint32(b, uint32(v))
+	default:
+		binary.BigEndian.PutUint64(b, v)
+	}
+}
+
+func loadLE(b []byte) uint64 {
+	switch len(b) {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	default:
+		return binary.LittleEndian.Uint64(b)
+	}
+}
+
+func storeLE(b []byte, v uint64) {
+	switch len(b) {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+}

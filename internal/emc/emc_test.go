@@ -1,0 +1,148 @@
+package emc
+
+import (
+	"testing"
+
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/packet/hdr"
+)
+
+func keyN(i int) flow.Key {
+	f := flow.Fields{
+		EthType: hdr.EtherTypeIPv4,
+		IP4Src:  hdr.IP4(0x0a000000 + uint32(i)),
+		IP4Dst:  hdr.MakeIP4(10, 0, 0, 2),
+		IPProto: hdr.IPProtoUDP,
+		TPSrc:   uint16(i), TPDst: 80,
+	}
+	return f.Pack()
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := New[int](64, 0)
+	k := keyN(1)
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Insert(k, 42)
+	v, ok := c.Lookup(k)
+	if !ok || v != 42 {
+		t.Fatalf("lookup = %d,%v", v, ok)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestInsertSameKeyUpdates(t *testing.T) {
+	c := New[int](64, 0)
+	k := keyN(1)
+	c.Insert(k, 1)
+	c.Insert(k, 2)
+	if v, _ := c.Lookup(k); v != 2 {
+		t.Fatalf("update failed: %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New[int](64, 0)
+	k := keyN(1)
+	c.Insert(k, 1)
+	c.Invalidate(k)
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("invalidated entry must miss")
+	}
+	// Invalidating a missing key is a no-op.
+	c.Invalidate(keyN(99))
+}
+
+func TestFlush(t *testing.T) {
+	c := New[int](64, 0)
+	for i := 0; i < 10; i++ {
+		c.Insert(keyN(i), i)
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("len after flush = %d", c.Len())
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	c := New[int](8, 0) // 4 sets x 2 ways
+	for i := 0; i < 100; i++ {
+		c.Insert(keyN(i), i)
+	}
+	if c.Len() > c.Capacity() {
+		t.Fatalf("len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+	if c.Evictions == 0 {
+		t.Fatal("pressure must evict")
+	}
+}
+
+func TestTwoWaysPerSetSurvive(t *testing.T) {
+	// Two keys landing in the same set must coexist (2-way).
+	c := New[int](2, 0) // a single set with 2 ways
+	c.Insert(keyN(1), 1)
+	c.Insert(keyN(2), 2)
+	_, ok1 := c.Lookup(keyN(1))
+	_, ok2 := c.Lookup(keyN(2))
+	if !ok1 || !ok2 {
+		t.Fatal("both ways of a set must be usable")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	c := New[int](1000, 0)
+	if c.Capacity() < 1000 {
+		t.Fatalf("capacity %d < requested 1000", c.Capacity())
+	}
+	if c.Capacity()%Ways != 0 {
+		t.Fatal("capacity must be a multiple of the ways")
+	}
+}
+
+func TestThousandFlowsMostlyFit(t *testing.T) {
+	// The paper's 1,000-flow workload against the default 8192-entry EMC:
+	// most flows should be cache-resident (conflict misses only).
+	c := New[int](DefaultEntries, 0)
+	for i := 0; i < 1000; i++ {
+		c.Insert(keyN(i), i)
+	}
+	resident := 0
+	for i := 0; i < 1000; i++ {
+		if _, ok := c.Lookup(keyN(i)); ok {
+			resident++
+		}
+	}
+	if resident < 950 {
+		t.Fatalf("only %d/1000 flows resident; expected nearly all", resident)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := New[int](64, 0)
+	if c.HitRate() != 0 {
+		t.Fatal("no lookups yet: rate 0")
+	}
+	k := keyN(1)
+	c.Insert(k, 1)
+	c.Lookup(k)
+	c.Lookup(keyN(2))
+	if r := c.HitRate(); r != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", r)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New[int](DefaultEntries, 0)
+	k := keyN(7)
+	c.Insert(k, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(k)
+	}
+}

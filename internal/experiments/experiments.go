@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ovsxdp/internal/measure"
+	"ovsxdp/internal/sim"
+)
+
+// Profile trades fidelity for wall-clock time: Full reproduces the paper's
+// windows; Quick shortens them for tests and CI.
+type Profile struct {
+	Warmup     sim.Time
+	Window     sim.Time
+	SearchIter int
+	RRCount    int
+}
+
+// Full is the publication-quality profile.
+var Full = Profile{Warmup: 6 * sim.Millisecond, Window: 30 * sim.Millisecond, SearchIter: 11, RRCount: 2000}
+
+// Quick is the CI profile.
+var Quick = Profile{Warmup: 3 * sim.Millisecond, Window: 10 * sim.Millisecond, SearchIter: 9, RRCount: 400}
+
+// Row is one reported measurement with its paper anchor.
+type Row struct {
+	Name     string
+	Measured float64
+	Paper    float64 // 0 when the paper gives no number for this row
+	Unit     string
+	Note     string
+}
+
+// Ratio returns measured/paper, or 0 when no anchor exists.
+func (r Row) Ratio() float64 {
+	if r.Paper == 0 {
+		return 0
+	}
+	return r.Measured / r.Paper
+}
+
+// Report is one experiment's output.
+type Report struct {
+	ID    string
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// Add appends a row.
+func (r *Report) Add(name string, measured, paper float64, unit string) {
+	r.Rows = append(r.Rows, Row{Name: name, Measured: measured, Paper: paper, Unit: unit})
+}
+
+// AddNote appends a free-form note.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as a table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		if row.Paper != 0 {
+			fmt.Fprintf(&b, "  %-42s %10.2f %-8s (paper %8.2f, x%.2f)\n",
+				row.Name, row.Measured, row.Unit, row.Paper, row.Ratio())
+		} else {
+			fmt.Fprintf(&b, "  %-42s %10.2f %-8s\n", row.Name, row.Measured, row.Unit)
+		}
+		if row.Note != "" {
+			fmt.Fprintf(&b, "      %s\n", row.Note)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a registered reproduction target.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(p Profile) *Report
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+// Get looks an experiment up by id (e.g. "fig9a", "table2").
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// searchConfig builds the lossless search bracket for a profile.
+func searchConfig(p Profile, hiPPS float64) measure.SearchConfig {
+	return measure.SearchConfig{LoPPS: 5e4, HiPPS: hiPPS,
+		LossTolerance: 0.002, Iterations: p.SearchIter}
+}

@@ -1,0 +1,146 @@
+// Package kernelsim models the Linux kernel side of the paper: NAPI
+// softirq processing, the in-kernel OVS datapath (the architecture the
+// paper migrates away from), its eBPF-at-tc variant (Figure 2's third bar),
+// and the kernel cost helpers the socket-level simulations charge.
+//
+// CPU time spent here lands in the Softirq and System categories, which is
+// what makes Table 4's per-category comparison possible.
+package kernelsim
+
+import (
+	"ovsxdp/internal/costmodel"
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/sim"
+)
+
+// NAPIBudget is the packet budget per softirq poll iteration, as in Linux.
+const NAPIBudget = 64
+
+// PollSource abstracts the queues a NAPI actor can drain: a NIC hardware
+// queue or a virtual device queue.
+type PollSource interface {
+	// PopPackets removes up to max packets.
+	PopPackets(max int) []*packet.Packet
+	// ArmWake requests a wakeup on the next packet arrival.
+	ArmWake()
+	// SetWake installs the wakeup callback.
+	SetWake(func())
+}
+
+// NICQueueSource adapts a nicsim queue to PollSource.
+type NICQueueSource struct {
+	Q interface {
+		Pop(max int) []*packet.Packet
+		ArmInterrupt()
+		SetInterrupt(func())
+	}
+}
+
+// PopPackets implements PollSource.
+func (s NICQueueSource) PopPackets(max int) []*packet.Packet { return s.Q.Pop(max) }
+
+// ArmWake implements PollSource.
+func (s NICQueueSource) ArmWake() { s.Q.ArmInterrupt() }
+
+// SetWake implements PollSource.
+func (s NICQueueSource) SetWake(fn func()) { s.Q.SetInterrupt(fn) }
+
+// VQueueSource adapts a vdev queue to PollSource.
+type VQueueSource struct {
+	Q interface {
+		Pop(max int) []*packet.Packet
+		ArmWakeup()
+		SetWakeup(func())
+	}
+}
+
+// PopPackets implements PollSource.
+func (s VQueueSource) PopPackets(max int) []*packet.Packet { return s.Q.Pop(max) }
+
+// ArmWake implements PollSource.
+func (s VQueueSource) ArmWake() { s.Q.ArmWakeup() }
+
+// SetWake implements PollSource.
+func (s VQueueSource) SetWake(fn func()) { s.Q.SetWakeup(fn) }
+
+// NAPIActor drives one queue in softirq context: woken by an interrupt, it
+// polls up to NAPIBudget packets per iteration, processes them via the
+// handler, and re-arms the interrupt when the queue runs dry — the
+// adaptive interrupt/poll switching Section 5.3 credits for the kernel's
+// latency behaviour.
+type NAPIActor struct {
+	Eng *sim.Engine
+	CPU *sim.CPU
+	Src PollSource
+	// Handler processes a batch; all costs are charged to CPU by the
+	// handler itself.
+	Handler func(cpu *sim.CPU, pkts []*packet.Packet)
+	// Category is the accounting bucket (Softirq on hosts, Guest inside
+	// VMs).
+	Category sim.Category
+
+	running bool
+	// Polls and Packets count activity.
+	Polls   uint64
+	Packets uint64
+}
+
+// Start installs the wakeup and arms it.
+func (a *NAPIActor) Start() {
+	if a.Category == 0 {
+		a.Category = sim.Softirq
+	}
+	a.Src.SetWake(a.wake)
+	a.Src.ArmWake()
+}
+
+func (a *NAPIActor) wake() {
+	if a.running {
+		return
+	}
+	a.running = true
+	a.Eng.Schedule(0, a.poll)
+}
+
+func (a *NAPIActor) poll() {
+	pkts := a.Src.PopPackets(NAPIBudget)
+	if len(pkts) == 0 {
+		a.running = false
+		a.Src.ArmWake()
+		return
+	}
+	a.Polls++
+	a.Packets += uint64(len(pkts))
+	a.Handler(a.CPU, pkts)
+	// Continue polling once the CPU has finished this batch's work.
+	next := a.CPU.FreeAt()
+	if now := a.Eng.Now(); next < now {
+		next = now
+	}
+	a.Eng.ScheduleAt(next, a.poll)
+}
+
+// --- Socket-level cost helpers -------------------------------------------------
+
+// SocketCosts bundles the per-operation kernel costs a TCP/UDP endpoint
+// pays; the transport simulations charge these against host or guest CPUs.
+type SocketCosts struct{}
+
+// SendCost returns the kernel cost of send(2) of n bytes: syscall entry,
+// transmit-side stack traversal, and the user-to-kernel copy.
+func (SocketCosts) SendCost(n int) sim.Time {
+	return costmodel.SyscallBase + costmodel.KernelStackTxPerPacket + costmodel.CopyCost(n)
+}
+
+// RecvCost returns the kernel cost of receiving n bytes into userspace:
+// receive-side stack traversal plus the kernel-to-user copy (the syscall
+// is usually amortized by blocking reads).
+func (SocketCosts) RecvCost(n int) sim.Time {
+	return costmodel.KernelStackRxPerPacket + costmodel.CopyCost(n)
+}
+
+// SoftirqRxCost returns the softirq-side cost of receiving one frame from
+// a driver into the stack: skb allocation plus protocol processing.
+func (SocketCosts) SoftirqRxCost(n int) sim.Time {
+	return costmodel.SkbAlloc + costmodel.KernelDriverRx + costmodel.KernelStackRxPerPacket
+}

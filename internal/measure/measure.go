@@ -1,0 +1,89 @@
+// Package measure implements the paper's measurement methodology: the
+// maximum-lossless-rate binary search of Section 5.2 ("we measured the
+// maximum lossless packet rate and the corresponding CPU utilization") and
+// helpers for reporting CPU usage in Table 4's hyperthread units.
+package measure
+
+import (
+	"fmt"
+
+	"ovsxdp/internal/sim"
+)
+
+// ProbeResult is one offered-load trial.
+type ProbeResult struct {
+	Offered   uint64
+	Delivered uint64
+	Dropped   uint64
+	Usage     sim.Usage
+}
+
+// LossFraction returns dropped/offered.
+func (r ProbeResult) LossFraction() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(r.Offered)
+}
+
+// Probe runs one trial at ratePPS and reports delivery/drops/CPU over the
+// measurement window. Each call must build a fresh testbed so trials are
+// independent.
+type Probe func(ratePPS float64) ProbeResult
+
+// SearchConfig tunes the lossless search.
+type SearchConfig struct {
+	// LoPPS/HiPPS bracket the search.
+	LoPPS, HiPPS float64
+	// LossTolerance is the drop fraction treated as lossless (TRex-style
+	// measurements tolerate a handful of warmup drops).
+	LossTolerance float64
+	// Iterations of bisection (12 gives ~0.05% precision).
+	Iterations int
+}
+
+// DefaultSearch brackets 10 kpps to 40 Mpps.
+func DefaultSearch() SearchConfig {
+	return SearchConfig{LoPPS: 1e4, HiPPS: 40e6, LossTolerance: 0.001, Iterations: 12}
+}
+
+// LosslessRate bisects to the maximum rate the system sustains without
+// loss, returning that rate and the trial measured at it.
+func LosslessRate(cfg SearchConfig, probe Probe) (float64, ProbeResult) {
+	lo, hi := cfg.LoPPS, cfg.HiPPS
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 12
+	}
+	// Quick accept: the whole bracket may be sustainable.
+	best := probe(hi)
+	if best.LossFraction() <= cfg.LossTolerance && best.Delivered > 0 {
+		return hi, best
+	}
+	var bestRate float64
+	var bestRes ProbeResult
+	ok := false
+	for i := 0; i < cfg.Iterations; i++ {
+		mid := (lo + hi) / 2
+		res := probe(mid)
+		if res.LossFraction() <= cfg.LossTolerance && res.Delivered > 0 {
+			bestRate, bestRes, ok = mid, res, true
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if !ok {
+		// Nothing sustainable in the bracket; report the floor trial.
+		return cfg.LoPPS, probe(cfg.LoPPS)
+	}
+	return bestRate, bestRes
+}
+
+// Mpps formats packets/s as the paper's Mpps.
+func Mpps(pps float64) float64 { return pps / 1e6 }
+
+// FormatRow renders "rate Mpps, usage" like the Figure 9 bar + Table 4 row
+// pair.
+func FormatRow(name string, ratePPS float64, usage sim.Usage) string {
+	return fmt.Sprintf("%-28s %6.2f Mpps   %s", name, Mpps(ratePPS), usage)
+}

@@ -1,0 +1,85 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"ovsxdp/internal/sim"
+)
+
+// fakeSystem sustains capacity pps losslessly and drops everything beyond.
+func fakeSystem(capacity float64) Probe {
+	return func(rate float64) ProbeResult {
+		offered := uint64(rate / 100) // arbitrary window scaling
+		if rate <= capacity {
+			return ProbeResult{Offered: offered, Delivered: offered}
+		}
+		delivered := uint64(capacity / 100)
+		return ProbeResult{Offered: offered, Delivered: delivered, Dropped: offered - delivered}
+	}
+}
+
+func TestLosslessRateConverges(t *testing.T) {
+	cfg := SearchConfig{LoPPS: 1e4, HiPPS: 20e6, LossTolerance: 0, Iterations: 20}
+	rate, res := LosslessRate(cfg, fakeSystem(7.1e6))
+	if math.Abs(rate-7.1e6) > 0.02e6 {
+		t.Fatalf("converged to %.3f Mpps, want 7.1", Mpps(rate))
+	}
+	if res.Dropped != 0 {
+		t.Fatal("result trial must be lossless")
+	}
+}
+
+func TestLosslessRateWholeBracketSustainable(t *testing.T) {
+	cfg := SearchConfig{LoPPS: 1e4, HiPPS: 5e6, Iterations: 12}
+	rate, _ := LosslessRate(cfg, fakeSystem(50e6))
+	if rate != 5e6 {
+		t.Fatalf("rate = %v, want the bracket top", rate)
+	}
+}
+
+func TestLosslessRateNothingSustainable(t *testing.T) {
+	probe := func(rate float64) ProbeResult {
+		return ProbeResult{Offered: 100, Delivered: 0, Dropped: 100}
+	}
+	cfg := SearchConfig{LoPPS: 1e4, HiPPS: 1e6, Iterations: 8}
+	rate, _ := LosslessRate(cfg, probe)
+	if rate != 1e4 {
+		t.Fatalf("rate = %v, want the floor", rate)
+	}
+}
+
+func TestLossToleranceAllowsWarmupDrops(t *testing.T) {
+	// A system with a constant tiny drop count must still find its rate.
+	probe := func(rate float64) ProbeResult {
+		offered := uint64(rate / 100)
+		drops := uint64(1) // one warmup drop regardless
+		if rate > 3e6 {
+			drops = offered / 2
+		}
+		return ProbeResult{Offered: offered, Delivered: offered - drops, Dropped: drops}
+	}
+	cfg := SearchConfig{LoPPS: 1e5, HiPPS: 10e6, LossTolerance: 0.01, Iterations: 16}
+	rate, _ := LosslessRate(cfg, probe)
+	if math.Abs(rate-3e6) > 0.05e6 {
+		t.Fatalf("rate = %.3f Mpps, want ~3.0", Mpps(rate))
+	}
+}
+
+func TestProbeResultLossFraction(t *testing.T) {
+	r := ProbeResult{Offered: 100, Dropped: 5}
+	if r.LossFraction() != 0.05 {
+		t.Fatalf("loss = %v", r.LossFraction())
+	}
+	if (ProbeResult{}).LossFraction() != 0 {
+		t.Fatal("zero offered must not divide by zero")
+	}
+}
+
+func TestFormatRow(t *testing.T) {
+	var u sim.Usage
+	u[sim.User] = 1.0
+	if FormatRow("afxdp", 7.1e6, u) == "" {
+		t.Fatal("empty row")
+	}
+}

@@ -1,0 +1,215 @@
+package netlinksim
+
+import (
+	"errors"
+	"testing"
+
+	"ovsxdp/internal/packet/hdr"
+)
+
+var macX = hdr.MAC{0x02, 0, 0, 0, 0, 1}
+
+func TestLinkLifecycle(t *testing.T) {
+	k := NewKernel()
+	idx, err := k.AddLink("eth0", "mlx5_core", macX, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.AddLink("eth0", "x", macX, 1500); err == nil {
+		t.Fatal("duplicate name must fail")
+	}
+	l, err := k.LinkByName("eth0")
+	if err != nil || l.Index != idx || l.Driver != "mlx5_core" {
+		t.Fatalf("link = %+v, %v", l, err)
+	}
+	if l.State != LinkDown {
+		t.Fatal("new links start down")
+	}
+	if err := k.SetLinkState("eth0", LinkUp); err != nil {
+		t.Fatal(err)
+	}
+	if l.State != LinkUp {
+		t.Fatal("state change lost")
+	}
+	if err := k.DelLink("eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.LinkByName("eth0"); err == nil {
+		t.Fatal("deleted link must be gone")
+	}
+	var nd ErrNoDevice
+	if err := k.DelLink("eth0"); !errors.As(err, &nd) {
+		t.Fatalf("want ErrNoDevice, got %v", err)
+	}
+}
+
+func TestAddrInstallsConnectedRoute(t *testing.T) {
+	k := NewKernel()
+	k.AddLink("eth0", "ixgbe", macX, 1500)
+	if err := k.AddAddr("eth0", hdr.MakeIP4(10, 1, 2, 3), 24); err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := k.Addrs("eth0")
+	if err != nil || len(addrs) != 1 {
+		t.Fatalf("addrs = %v, %v", addrs, err)
+	}
+	r, ok := k.LookupRoute(hdr.MakeIP4(10, 1, 2, 99))
+	if !ok || r.PrefixLen != 24 || r.Gateway != 0 {
+		t.Fatalf("connected route = %+v, %v", r, ok)
+	}
+}
+
+func TestLongestPrefixMatch(t *testing.T) {
+	k := NewKernel()
+	idx, _ := k.AddLink("eth0", "x", macX, 1500)
+	k.AddRoute(Route{Dst: 0, PrefixLen: 0, Gateway: hdr.MakeIP4(10, 0, 0, 254), LinkIndex: idx})
+	k.AddRoute(Route{Dst: hdr.MakeIP4(10, 2, 0, 0), PrefixLen: 16, LinkIndex: idx})
+	k.AddRoute(Route{Dst: hdr.MakeIP4(10, 2, 3, 0), PrefixLen: 24, Gateway: hdr.MakeIP4(10, 2, 3, 1), LinkIndex: idx})
+
+	r, ok := k.LookupRoute(hdr.MakeIP4(10, 2, 3, 50))
+	if !ok || r.PrefixLen != 24 {
+		t.Fatalf("LPM picked /%d", r.PrefixLen)
+	}
+	r, _ = k.LookupRoute(hdr.MakeIP4(10, 2, 9, 1))
+	if r.PrefixLen != 16 {
+		t.Fatalf("LPM picked /%d, want 16", r.PrefixLen)
+	}
+	r, _ = k.LookupRoute(hdr.MakeIP4(8, 8, 8, 8))
+	if r.PrefixLen != 0 || r.Gateway != hdr.MakeIP4(10, 0, 0, 254) {
+		t.Fatal("default route not used")
+	}
+}
+
+func TestNeighReplaceAndLookup(t *testing.T) {
+	k := NewKernel()
+	idx, _ := k.AddLink("eth0", "x", macX, 1500)
+	ip := hdr.MakeIP4(10, 0, 0, 9)
+	k.AddNeigh(Neigh{IP: ip, MAC: hdr.MAC{1}, LinkIndex: idx})
+	k.AddNeigh(Neigh{IP: ip, MAC: hdr.MAC{2}, LinkIndex: idx})
+	n, ok := k.LookupNeigh(ip)
+	if !ok || n.MAC != (hdr.MAC{2}) {
+		t.Fatalf("neigh = %+v", n)
+	}
+	if len(k.Neighs()) != 1 {
+		t.Fatal("replace must not duplicate")
+	}
+	if err := k.AddNeigh(Neigh{IP: ip, LinkIndex: 99}); err == nil {
+		t.Fatal("neigh on unknown device must fail")
+	}
+}
+
+func TestDelLinkCascades(t *testing.T) {
+	k := NewKernel()
+	idx, _ := k.AddLink("eth0", "x", macX, 1500)
+	k.AddAddr("eth0", hdr.MakeIP4(10, 0, 0, 1), 24)
+	k.AddNeigh(Neigh{IP: hdr.MakeIP4(10, 0, 0, 2), MAC: hdr.MAC{5}, LinkIndex: idx})
+	k.DelLink("eth0")
+	if len(k.Routes()) != 0 || len(k.Neighs()) != 0 {
+		t.Fatal("cascade delete incomplete")
+	}
+	if addrs, _ := k.Addrs(""); len(addrs) != 0 {
+		t.Fatal("addresses must cascade")
+	}
+}
+
+// TestDPDKBindBreaksTooling reproduces Table 1's central claim: after a NIC
+// is handed to DPDK the kernel tools stop working on it, while an
+// AF_XDP-managed NIC keeps responding.
+func TestDPDKBindBreaksTooling(t *testing.T) {
+	k := NewKernel()
+	k.AddLink("eth0", "mlx5_core", macX, 1500)
+	k.AddAddr("eth0", hdr.MakeIP4(10, 0, 0, 1), 24)
+
+	// AF_XDP attachment keeps the kernel driver: everything still works.
+	if _, err := k.LinkByName("eth0"); err != nil {
+		t.Fatal("AF_XDP-managed device must stay visible")
+	}
+
+	hw, err := k.BindDPDK("eth0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Name != "eth0" {
+		t.Fatal("bind must return the hardware details")
+	}
+	// Every Table 1 operation now fails.
+	if _, err := k.LinkByName("eth0"); err == nil {
+		t.Fatal("ip link must fail on a DPDK device")
+	}
+	if _, err := k.Addrs("eth0"); err == nil {
+		t.Fatal("ip address must fail on a DPDK device")
+	}
+	if err := k.SetLinkState("eth0", LinkUp); err == nil {
+		t.Fatal("ip link set must fail on a DPDK device")
+	}
+	if _, ok := k.LookupRoute(hdr.MakeIP4(10, 0, 0, 9)); ok {
+		t.Fatal("routes via the stolen device must be gone")
+	}
+}
+
+func TestCacheReplicatesAndConverges(t *testing.T) {
+	k := NewKernel()
+	idx, _ := k.AddLink("eth0", "x", macX, 1500)
+	k.AddAddr("eth0", hdr.MakeIP4(192, 168, 1, 1), 24)
+
+	// Late subscription: existing state replays.
+	c := NewCache(k)
+	if _, ok := c.LookupRoute(hdr.MakeIP4(192, 168, 1, 7)); !ok {
+		t.Fatal("cache must bootstrap existing routes")
+	}
+
+	// Live update propagates.
+	k.AddNeigh(Neigh{IP: hdr.MakeIP4(192, 168, 1, 7), MAC: hdr.MAC{7}, LinkIndex: idx})
+	if n, ok := c.LookupNeigh(hdr.MakeIP4(192, 168, 1, 7)); !ok || n.MAC != (hdr.MAC{7}) {
+		t.Fatal("cache missed a neigh notification")
+	}
+
+	// Delete propagates (cascade through DelLink).
+	k.DelLink("eth0")
+	if _, ok := c.LookupRoute(hdr.MakeIP4(192, 168, 1, 7)); ok {
+		t.Fatal("cache must drop routes of deleted links")
+	}
+	if _, ok := c.Link(idx); ok {
+		t.Fatal("cache must drop deleted links")
+	}
+}
+
+func TestCacheResolveNextHop(t *testing.T) {
+	k := NewKernel()
+	idx, _ := k.AddLink("uplink", "mlx5_core", macX, 1500)
+	k.AddAddr("uplink", hdr.MakeIP4(172, 16, 0, 10), 16)
+	gw := hdr.MakeIP4(172, 16, 0, 1)
+	k.AddRoute(Route{Dst: 0, PrefixLen: 0, Gateway: gw, LinkIndex: idx})
+	gwMAC := hdr.MAC{0xde, 0xad, 0, 0, 0, 1}
+	k.AddNeigh(Neigh{IP: gw, MAC: gwMAC, LinkIndex: idx})
+	peerMAC := hdr.MAC{0xbe, 0xef, 0, 0, 0, 2}
+	k.AddNeigh(Neigh{IP: hdr.MakeIP4(172, 16, 0, 20), MAC: peerMAC, LinkIndex: idx})
+
+	c := NewCache(k)
+
+	// On-subnet destination: resolved directly.
+	l, mac, ok := c.ResolveNextHop(hdr.MakeIP4(172, 16, 0, 20))
+	if !ok || mac != peerMAC || l.Name != "uplink" {
+		t.Fatalf("direct resolve = %v %v %v", l.Name, mac, ok)
+	}
+	// Off-subnet: via the gateway.
+	_, mac, ok = c.ResolveNextHop(hdr.MakeIP4(8, 8, 8, 8))
+	if !ok || mac != gwMAC {
+		t.Fatalf("gateway resolve = %v %v", mac, ok)
+	}
+	// Unresolvable next hop.
+	k.DelLink("uplink")
+	if _, _, ok := c.ResolveNextHop(hdr.MakeIP4(8, 8, 8, 8)); ok {
+		t.Fatal("resolve must fail with no routes")
+	}
+}
+
+func TestSubscriberSeesLiveEvents(t *testing.T) {
+	k := NewKernel()
+	var events []Event
+	k.Subscribe(func(e Event) { events = append(events, e) })
+	k.AddLink("eth0", "x", macX, 1500)
+	if len(events) != 1 || events[0].Link == nil {
+		t.Fatalf("events = %d", len(events))
+	}
+}

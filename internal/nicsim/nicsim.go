@@ -1,0 +1,388 @@
+// Package nicsim models the physical NICs of the paper's testbeds: Intel
+// X540 10 GbE (Section 5.1) and Mellanox ConnectX-6 25 GbE (Section 5.2).
+//
+// A NIC has multiple receive queues fed by RSS hashing or hardware ntuple
+// steering rules (ethtool --config-ntuple, Figure 6b), bounded descriptor
+// rings whose overflow is packet loss, per-queue interrupt signalling for
+// interrupt-driven consumers, an XDP hook executed at the driver level, and
+// hardware offloads (checksum, TSO) that the AF_XDP path conspicuously
+// lacks (Table 2's O5, Section 5.5).
+//
+// The NIC is passive on the receive side: consumers (the kernel stack, a
+// PMD thread, a DPDK driver) poll queues or arm interrupts. The transmit
+// side paces frames at line rate and hands them to the attached wire.
+package nicsim
+
+import (
+	"fmt"
+
+	"ovsxdp/internal/costmodel"
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/sim"
+	"ovsxdp/internal/xdp"
+)
+
+// DefaultRingDepth is the hardware descriptor ring depth per queue.
+const DefaultRingDepth = 1024
+
+// Offloads describes the hardware assists a NIC provides.
+type Offloads struct {
+	// RxCsum: the NIC validates L3/L4 checksums on receive and marks
+	// packets CsumVerified.
+	RxCsum bool
+	// TxCsum: the NIC fills in checksums marked CsumPartial on transmit.
+	TxCsum bool
+	// TSO: the NIC segments oversized TCP packets on transmit.
+	TSO bool
+	// RSSHashDeliver: the NIC delivers its computed RSS hash to the
+	// consumer (kernels get this via the descriptor; AF_XDP cannot
+	// access it yet, Section 5.5).
+	RSSHashDeliver bool
+}
+
+// SteeringRule is one hardware ntuple flow-steering rule (Figure 6b):
+// packets matching the 5-tuple constraints go to Queue.
+type SteeringRule struct {
+	Proto   hdr.IPProto // 0 matches any
+	DstPort uint16      // 0 matches any
+	Queue   int
+}
+
+// Queue is one hardware receive queue.
+type Queue struct {
+	ID int
+
+	ring     []*packet.Packet
+	depth    int
+	irqFn    func()
+	irqArmed bool
+
+	// Stats.
+	RxPackets uint64
+	RxDrops   uint64
+}
+
+// Len returns the number of packets waiting in the queue.
+func (q *Queue) Len() int { return len(q.ring) }
+
+// Pop removes up to max packets.
+func (q *Queue) Pop(max int) []*packet.Packet {
+	n := max
+	if n > len(q.ring) {
+		n = len(q.ring)
+	}
+	out := q.ring[:n:n]
+	q.ring = append([]*packet.Packet(nil), q.ring[n:]...)
+	return out
+}
+
+// SetInterrupt installs the interrupt handler; arming is separate so NAPI
+// consumers can disable interrupts while polling.
+func (q *Queue) SetInterrupt(fn func()) { q.irqFn = fn }
+
+// ArmInterrupt enables interrupt delivery for the next packet arrival.
+func (q *Queue) ArmInterrupt() { q.irqArmed = true }
+
+// DisarmInterrupt disables interrupt delivery (NAPI poll mode).
+func (q *Queue) DisarmInterrupt() { q.irqArmed = false }
+
+// NIC is one simulated network interface.
+type NIC struct {
+	Name    string
+	Ifindex uint32
+	// LinkRate is the port speed in bits/s.
+	LinkRate int64
+	// Offloads are the hardware assists available.
+	Offloads Offloads
+	// Hook is the XDP attachment point, executed by the driver's
+	// receive path when a consumer calls DriverReceive.
+	Hook *xdp.Hook
+
+	eng      *sim.Engine
+	queues   []*Queue
+	rssBasis uint32
+	ntuple   []SteeringRule
+
+	// wire receives transmitted packets (after serialization delay).
+	wire func(*packet.Packet)
+	// txFreeAt paces the transmit side at line rate.
+	txFreeAt sim.Time
+
+	// Stats.
+	TxPackets uint64
+	TxBytes   uint64
+}
+
+// Config parameterizes New.
+type Config struct {
+	Name     string
+	Ifindex  uint32
+	Queues   int
+	RingSize int
+	LinkRate int64
+	Offloads Offloads
+	// AttachModel selects the Figure 6 XDP attachment style; the zero
+	// value is the Intel all-queues model.
+	AttachModel xdp.AttachModel
+	// XDPMode is the driver (native) or generic (skb) execution mode.
+	XDPMode xdp.Mode
+}
+
+// New builds a NIC on the engine.
+func New(eng *sim.Engine, cfg Config) *NIC {
+	if cfg.Queues <= 0 {
+		cfg.Queues = 1
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingDepth
+	}
+	if cfg.LinkRate == 0 {
+		cfg.LinkRate = costmodel.LinkRate10G
+	}
+	n := &NIC{
+		Name:     cfg.Name,
+		Ifindex:  cfg.Ifindex,
+		LinkRate: cfg.LinkRate,
+		Offloads: cfg.Offloads,
+		Hook:     xdp.NewHook(cfg.AttachModel, cfg.XDPMode),
+		eng:      eng,
+		rssBasis: uint32(cfg.Ifindex)*0x9e37 + 0x79b9,
+	}
+	for i := 0; i < cfg.Queues; i++ {
+		n.queues = append(n.queues, &Queue{ID: i, depth: cfg.RingSize})
+	}
+	return n
+}
+
+// NumQueues returns the receive queue count.
+func (n *NIC) NumQueues() int { return len(n.queues) }
+
+// Queue returns queue i.
+func (n *NIC) Queue(i int) *Queue { return n.queues[i] }
+
+// AddSteeringRule installs a hardware ntuple rule; rules are evaluated in
+// insertion order before RSS.
+func (n *NIC) AddSteeringRule(r SteeringRule) error {
+	if r.Queue < 0 || r.Queue >= len(n.queues) {
+		return fmt.Errorf("nicsim: steering rule targets queue %d of %d", r.Queue, len(n.queues))
+	}
+	n.ntuple = append(n.ntuple, r)
+	return nil
+}
+
+// ConnectWire attaches the function that receives transmitted packets (the
+// other end of the cable, a switch port, or a test sink).
+func (n *NIC) ConnectWire(fn func(*packet.Packet)) { n.wire = fn }
+
+// classify picks the receive queue for a packet: ntuple rules first, then
+// RSS on the 5-tuple. Hardware does this work, so no CPU cost is charged;
+// the RSS hash is stored in the packet metadata when the NIC supports
+// delivering it.
+func (n *NIC) classify(p *packet.Packet) *Queue {
+	key := flow.Extract(p)
+	f := key.Unpack()
+	for _, r := range n.ntuple {
+		if r.Proto != 0 && r.Proto != f.IPProto {
+			continue
+		}
+		if r.DstPort != 0 && r.DstPort != f.TPDst {
+			continue
+		}
+		return n.queues[r.Queue]
+	}
+	h := flow.RSSHash(key)
+	if n.Offloads.RSSHashDeliver {
+		p.RSSHash = h
+		p.HasRSSHash = true
+	}
+	return n.queues[h%uint32(len(n.queues))]
+}
+
+// Receive is the wire-side ingress: DMA the packet into its queue's ring,
+// dropping on overflow, and raise the queue's interrupt if armed.
+func (n *NIC) Receive(p *packet.Packet) bool {
+	if n.Offloads.RxCsum {
+		p.Offloads |= packet.CsumVerified
+	}
+	q := n.classify(p)
+	if len(q.ring) >= q.depth {
+		q.RxDrops++
+		return false
+	}
+	q.ring = append(q.ring, p)
+	q.RxPackets++
+	if q.irqArmed && q.irqFn != nil {
+		q.irqArmed = false
+		fn := q.irqFn
+		// Interrupt moderation delay: adaptive coalescing makes this
+		// jittery (half fixed, half exponential), which is where the
+		// kernel path's latency tail in Figure 10 comes from.
+		base := costmodel.InterruptLatencyMean / 2
+		jitter := sim.Time(n.eng.Rand().Exp(float64(base)))
+		n.eng.Schedule(base+jitter, fn)
+	}
+	return true
+}
+
+// DriverReceive runs the XDP stage on packets popped from a queue, on
+// behalf of the softirq-context consumer. For each packet it charges the
+// driver overhead plus program cost to cpu and invokes the verdict
+// callbacks. Packets with XDP_PASS verdicts (or no program) are returned
+// for delivery up the stack.
+type DriverVerdicts struct {
+	// ToXsk receives packets redirected into an AF_XDP socket, with the
+	// xskmap value (socket id).
+	ToXsk func(sock uint32, p *packet.Packet)
+	// ToDev receives packets redirected to another device (devmap
+	// ifindex target).
+	ToDev func(ifindex uint32, p *packet.Packet)
+	// Tx transmits the (possibly rewritten) packet back out this NIC.
+	Tx func(p *packet.Packet)
+}
+
+// DriverReceive processes up to max packets from queue q through the XDP
+// hook, charging costs to cpu in softirq context. It returns the packets
+// that passed to the stack and the count processed.
+func (n *NIC) DriverReceive(q *Queue, max int, cpu *sim.CPU, v DriverVerdicts) (passed []*packet.Packet, processed int) {
+	pkts := q.Pop(max)
+	for _, p := range pkts {
+		cpu.Consume(sim.Softirq, costmodel.XDPDriverOverhead)
+		if !n.Hook.HasProgram() {
+			passed = append(passed, p)
+			continue
+		}
+		res, cost, err := n.Hook.Run(q.ID, p.Data, n.Ifindex)
+		cpu.Consume(sim.Softirq, cost)
+		if err != nil {
+			// A faulting program drops the packet (XDP_ABORTED).
+			continue
+		}
+		switch res.Action {
+		case 2: // XDP_PASS
+			passed = append(passed, p)
+		case 3: // XDP_TX
+			cpu.Consume(sim.Softirq, costmodel.XDPTxForward)
+			if v.Tx != nil {
+				v.Tx(p)
+			}
+		case 4: // XDP_REDIRECT
+			target, _ := res.RedirectMap.(interface {
+				Target(uint32) (uint32, bool)
+			})
+			if target == nil {
+				continue
+			}
+			tgt, ok := target.Target(res.RedirectIndex)
+			if !ok {
+				continue
+			}
+			if res.RedirectMap.Type().String() == "xskmap" {
+				if v.ToXsk != nil {
+					v.ToXsk(tgt, p)
+				}
+			} else {
+				cpu.Consume(sim.Softirq, costmodel.XDPRedirectVeth)
+				if v.ToDev != nil {
+					v.ToDev(tgt, p)
+				}
+			}
+		default: // XDP_DROP / XDP_ABORTED
+		}
+	}
+	return passed, len(pkts)
+}
+
+// Transmit serializes the packet onto the wire at line rate, applying
+// transmit-side offloads. TSO packets are split into MSS-sized frames here
+// when the hardware supports it; callers without TSO hardware must segment
+// in software before calling (and pay that cost themselves). The packet
+// arrives at the wire peer after serialization plus propagation delay.
+func (n *NIC) Transmit(p *packet.Packet) {
+	if p.Offloads&packet.CsumPartial != 0 && n.Offloads.TxCsum {
+		// Hardware fills the checksum: free for the CPU.
+		p.Offloads &^= packet.CsumPartial
+		p.Offloads |= packet.CsumVerified
+	}
+	if p.SegSize > 0 && n.Offloads.TSO && len(p.Data) > p.SegSize {
+		for _, seg := range segment(p) {
+			n.transmitFrame(seg)
+		}
+		return
+	}
+	n.transmitFrame(p)
+}
+
+func (n *NIC) transmitFrame(p *packet.Packet) {
+	n.TxPackets++
+	n.TxBytes += uint64(len(p.Data))
+	ser := costmodel.TransmitTime(n.LinkRate, len(p.Data))
+	start := n.txFreeAt
+	if now := n.eng.Now(); start < now {
+		start = now
+	}
+	n.txFreeAt = start + ser
+	if n.wire == nil {
+		return
+	}
+	wire := n.wire
+	n.eng.ScheduleAt(n.txFreeAt+costmodel.WireAndNIC, func() { wire(p) })
+}
+
+// segment splits a TSO packet into SegSize-sized frames. Header bytes
+// through the end of the transport header are replicated onto each segment;
+// the split frames inherit verified-checksum state because the hardware
+// computes per-segment checksums as part of TSO.
+func segment(p *packet.Packet) []*packet.Packet {
+	hdrLen := 54 // eth + ipv4 + minimal tcp, when offsets are unknown
+	if p.L4Offset > 0 && p.L4Offset+hdr.TCPMinSize <= len(p.Data) {
+		dataOff := int(p.Data[p.L4Offset+12]>>4) * 4
+		if dataOff < hdr.TCPMinSize {
+			dataOff = hdr.TCPMinSize
+		}
+		hdrLen = p.L4Offset + dataOff
+	}
+	if hdrLen > len(p.Data) {
+		hdrLen = len(p.Data)
+	}
+	payload := p.Data[hdrLen:]
+	var out []*packet.Packet
+	for off := 0; off < len(payload); off += p.SegSize {
+		end := off + p.SegSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		data := make([]byte, hdrLen+end-off)
+		copy(data, p.Data[:hdrLen])
+		copy(data[hdrLen:], payload[off:end])
+		seg := packet.New(data)
+		seg.Metadata = p.Metadata
+		seg.SegSize = 0
+		seg.Offloads &^= packet.CsumPartial | packet.TSO
+		seg.Offloads |= packet.CsumVerified
+		out = append(out, seg)
+	}
+	if len(out) == 0 {
+		out = append(out, p)
+	}
+	return out
+}
+
+// RxDropsTotal sums drops across queues.
+func (n *NIC) RxDropsTotal() uint64 {
+	var d uint64
+	for _, q := range n.queues {
+		d += q.RxDrops
+	}
+	return d
+}
+
+// RxPacketsTotal sums received packets across queues.
+func (n *NIC) RxPacketsTotal() uint64 {
+	var d uint64
+	for _, q := range n.queues {
+		d += q.RxPackets
+	}
+	return d
+}

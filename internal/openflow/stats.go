@@ -1,0 +1,87 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Multipart message types (ofp_multipart_type).
+const (
+	MultipartFlow = 1
+)
+
+// FlowStatEntry is one row of an ovs-ofctl dump-flows style reply.
+type FlowStatEntry struct {
+	Table    uint8
+	Priority int
+	Packets  uint64
+	Cookie   uint64
+}
+
+const flowStatEntrySize = 24
+
+// FlowStatsRequest builds a multipart flow-stats request for one table
+// (0xff requests all tables).
+func FlowStatsRequest(xid uint32, table uint8) Message {
+	body := make([]byte, 16)
+	binary.BigEndian.PutUint16(body[0:2], MultipartFlow)
+	body[8] = table
+	return Message{Type: TypeMultipartReq, Xid: xid, Body: body}
+}
+
+// ParseFlowStatsRequest extracts the requested table.
+func ParseFlowStatsRequest(m Message) (uint8, error) {
+	if m.Type != TypeMultipartReq || len(m.Body) < 16 {
+		return 0, fmt.Errorf("openflow: not a multipart request")
+	}
+	if binary.BigEndian.Uint16(m.Body[0:2]) != MultipartFlow {
+		return 0, fmt.Errorf("openflow: unsupported multipart type %d",
+			binary.BigEndian.Uint16(m.Body[0:2]))
+	}
+	return m.Body[8], nil
+}
+
+// FlowStatsReply builds the reply carrying the entries.
+func FlowStatsReply(xid uint32, entries []FlowStatEntry) Message {
+	body := make([]byte, 8+len(entries)*flowStatEntrySize)
+	binary.BigEndian.PutUint16(body[0:2], MultipartFlow)
+	off := 8
+	for _, e := range entries {
+		binary.BigEndian.PutUint16(body[off:], flowStatEntrySize)
+		body[off+2] = e.Table
+		binary.BigEndian.PutUint16(body[off+4:], uint16(e.Priority))
+		binary.BigEndian.PutUint64(body[off+8:], e.Packets)
+		binary.BigEndian.PutUint64(body[off+16:], e.Cookie)
+		off += flowStatEntrySize
+	}
+	return Message{Type: TypeMultipartReply, Xid: xid, Body: body}
+}
+
+// ParseFlowStatsReply decodes the entries.
+func ParseFlowStatsReply(m Message) ([]FlowStatEntry, error) {
+	if m.Type != TypeMultipartReply || len(m.Body) < 8 {
+		return nil, fmt.Errorf("openflow: not a multipart reply")
+	}
+	if binary.BigEndian.Uint16(m.Body[0:2]) != MultipartFlow {
+		return nil, fmt.Errorf("openflow: unsupported multipart type")
+	}
+	b := m.Body[8:]
+	var out []FlowStatEntry
+	for len(b) > 0 {
+		if len(b) < flowStatEntrySize {
+			return nil, fmt.Errorf("openflow: truncated flow stat entry")
+		}
+		length := int(binary.BigEndian.Uint16(b[0:2]))
+		if length < flowStatEntrySize || length > len(b) {
+			return nil, fmt.Errorf("openflow: bad flow stat entry length %d", length)
+		}
+		out = append(out, FlowStatEntry{
+			Table:    b[2],
+			Priority: int(binary.BigEndian.Uint16(b[4:6])),
+			Packets:  binary.BigEndian.Uint64(b[8:16]),
+			Cookie:   binary.BigEndian.Uint64(b[16:24]),
+		})
+		b = b[length:]
+	}
+	return out, nil
+}

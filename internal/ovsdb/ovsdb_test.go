@@ -1,0 +1,152 @@
+package ovsdb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransactInsertSelect(t *testing.T) {
+	s := NewServer()
+	res := s.Transact([]Op{
+		{Op: "insert", Table: TableBridge, Row: Row{"name": "br-int", "datapath_type": "netdev"}},
+		{Op: "insert", Table: TableBridge, Row: Row{"name": "br-underlay"}},
+	})
+	if res[0].UUID == "" || res[1].UUID == "" || res[0].UUID == res[1].UUID {
+		t.Fatalf("uuids = %+v", res)
+	}
+	sel := s.Transact([]Op{{Op: "select", Table: TableBridge,
+		Where: [][3]any{{"name", "==", "br-int"}}}})
+	if sel[0].Count != 1 || sel[0].Rows[0]["datapath_type"] != "netdev" {
+		t.Fatalf("select = %+v", sel[0])
+	}
+}
+
+func TestTransactUpdateDelete(t *testing.T) {
+	s := NewServer()
+	ins := s.Transact([]Op{{Op: "insert", Table: TableInterface,
+		Row: Row{"name": "eth0", "type": "afxdp"}}})
+	uuid := ins[0].UUID
+
+	up := s.Transact([]Op{{Op: "update", Table: TableInterface, UUID: uuid,
+		Row: Row{"type": "dpdk"}}})
+	if up[0].Count != 1 {
+		t.Fatalf("update count = %d", up[0].Count)
+	}
+	sel := s.Transact([]Op{{Op: "select", Table: TableInterface,
+		Where: [][3]any{{"name", "==", "eth0"}}}})
+	if sel[0].Rows[0]["type"] != "dpdk" {
+		t.Fatal("update not applied")
+	}
+
+	del := s.Transact([]Op{{Op: "delete", Table: TableInterface,
+		Where: [][3]any{{"name", "==", "eth0"}}}})
+	if del[0].Count != 1 {
+		t.Fatal("delete failed")
+	}
+	if len(s.Rows(TableInterface)) != 0 {
+		t.Fatal("row lingers after delete")
+	}
+}
+
+func TestTransactErrors(t *testing.T) {
+	s := NewServer()
+	res := s.Transact([]Op{{Op: "insert", Table: "Nope", Row: Row{}}})
+	if res[0].Error == "" {
+		t.Fatal("unknown table must error")
+	}
+	res = s.Transact([]Op{{Op: "explode", Table: TableBridge}})
+	if res[0].Error == "" {
+		t.Fatal("unknown op must error")
+	}
+}
+
+func TestOnChangeCallback(t *testing.T) {
+	s := NewServer()
+	var got []Update
+	s.OnChange = func(u Update) { got = append(got, u) }
+	s.Transact([]Op{{Op: "insert", Table: TableBridge, Row: Row{"name": "br0"}}})
+	s.Transact([]Op{{Op: "delete", Table: TableBridge, Where: [][3]any{{"name", "==", "br0"}}}})
+	if len(got) != 2 || got[0].Op != "insert" || got[1].Op != "delete" {
+		t.Fatalf("updates = %+v", got)
+	}
+}
+
+func TestWireProtocol(t *testing.T) {
+	s := NewServer()
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Echo(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transact([]Op{
+		{Op: "insert", Table: TableBridge, Row: Row{"name": "br-int"}},
+		{Op: "select", Table: TableBridge, Where: [][3]any{{"name", "==", "br-int"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].UUID == "" || res[1].Count != 1 {
+		t.Fatalf("wire transact = %+v", res)
+	}
+}
+
+func TestWireMonitor(t *testing.T) {
+	s := NewServer()
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Monitor(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Another client inserts; the monitor must hear about it.
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Transact([]Op{{Op: "insert", Table: TablePort, Row: Row{"name": "p1"}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case u := <-c.Updates:
+		if u.Table != TablePort || u.Op != "insert" || u.Row["name"] != "p1" {
+			t.Fatalf("update = %+v", u)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("monitor notification timed out")
+	}
+}
+
+func TestNumericWhereComparison(t *testing.T) {
+	s := NewServer()
+	s.Transact([]Op{{Op: "insert", Table: TablePort, Row: Row{"name": "p1", "tag": 100}}})
+	// Over the wire, 100 becomes float64; both must match.
+	sel := s.Transact([]Op{{Op: "select", Table: TablePort, Where: [][3]any{{"tag", "==", float64(100)}}}})
+	if sel[0].Count != 1 {
+		t.Fatal("float/int comparison failed")
+	}
+	sel = s.Transact([]Op{{Op: "select", Table: TablePort, Where: [][3]any{{"tag", "==", 100}}}})
+	if sel[0].Count != 1 {
+		t.Fatal("int/int comparison failed")
+	}
+}

@@ -1,0 +1,86 @@
+package hdr
+
+import "encoding/binary"
+
+// Checksum computes the RFC 1071 Internet checksum of b: the one's
+// complement of the one's-complement sum of 16-bit words. A trailing odd
+// byte is padded with zero.
+func Checksum(b []byte) uint16 {
+	return finish(sum16(b, 0))
+}
+
+// sum16 accumulates the one's-complement sum of b into acc.
+func sum16(b []byte, acc uint32) uint32 {
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		acc += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if n%2 == 1 {
+		acc += uint32(b[n-1]) << 8
+	}
+	return acc
+}
+
+// finish folds the carries and complements the sum.
+func finish(acc uint32) uint16 {
+	for acc > 0xffff {
+		acc = (acc >> 16) + (acc & 0xffff)
+	}
+	return ^uint16(acc)
+}
+
+// pseudoHeaderSum computes the IPv4 pseudo-header contribution for TCP/UDP
+// checksums.
+func pseudoHeaderSum(src, dst IP4, proto IPProto, l4len int) uint32 {
+	var acc uint32
+	acc += uint32(src >> 16)
+	acc += uint32(src & 0xffff)
+	acc += uint32(dst >> 16)
+	acc += uint32(dst & 0xffff)
+	acc += uint32(proto)
+	acc += uint32(l4len)
+	return acc
+}
+
+// L4Checksum computes the TCP or UDP checksum over l4 (header plus payload,
+// with the checksum field zeroed) using the IPv4 pseudo header.
+func L4Checksum(src, dst IP4, proto IPProto, l4 []byte) uint16 {
+	c := finish(sum16(l4, pseudoHeaderSum(src, dst, proto, len(l4))))
+	// Per RFC 768, a computed UDP checksum of zero is transmitted as
+	// all-ones.
+	if c == 0 && proto == IPProtoUDP {
+		c = 0xffff
+	}
+	return c
+}
+
+// VerifyL4Checksum reports whether l4's embedded checksum validates against
+// the pseudo header. A UDP checksum of zero means "not computed" and is
+// accepted.
+func VerifyL4Checksum(src, dst IP4, proto IPProto, l4 []byte) bool {
+	switch proto {
+	case IPProtoUDP:
+		if len(l4) >= UDPSize && binary.BigEndian.Uint16(l4[6:8]) == 0 {
+			return true
+		}
+	case IPProtoTCP:
+	default:
+		return true
+	}
+	acc := sum16(l4, pseudoHeaderSum(src, dst, proto, len(l4)))
+	return finish(acc) == 0
+}
+
+// PutTCPChecksum fills in the checksum field of a serialized TCP segment l4
+// (header + payload) in place.
+func PutTCPChecksum(src, dst IP4, l4 []byte) {
+	l4[16], l4[17] = 0, 0
+	binary.BigEndian.PutUint16(l4[16:18], L4Checksum(src, dst, IPProtoTCP, l4))
+}
+
+// PutUDPChecksum fills in the checksum field of a serialized UDP datagram l4
+// (header + payload) in place.
+func PutUDPChecksum(src, dst IP4, l4 []byte) {
+	l4[6], l4[7] = 0, 0
+	binary.BigEndian.PutUint16(l4[6:8], L4Checksum(src, dst, IPProtoUDP, l4))
+}

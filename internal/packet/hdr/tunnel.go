@@ -1,0 +1,216 @@
+package hdr
+
+import "encoding/binary"
+
+// Well-known tunnel UDP ports.
+const (
+	GenevePort = 6081
+	VXLANPort  = 4789
+)
+
+// Geneve is a decoded Geneve header (RFC 8926), the encapsulation NSX uses.
+type Geneve struct {
+	VNI       uint32 // 24-bit virtual network identifier
+	Protocol  EtherType
+	OAM       bool
+	Critical  bool
+	Options   []GeneveOption
+	HeaderLen int
+}
+
+// GeneveOption is one TLV option carried in a Geneve header. NSX uses an
+// option to carry its virtual-network context.
+type GeneveOption struct {
+	Class uint16
+	Type  uint8
+	Data  []byte // length must be a multiple of 4, at most 124 bytes
+}
+
+// ParseGeneve decodes a Geneve header from b.
+func ParseGeneve(b []byte) (Geneve, error) {
+	var g Geneve
+	if len(b) < GeneveMinSize {
+		return g, ErrTruncated{"geneve", GeneveMinSize, len(b)}
+	}
+	if ver := b[0] >> 6; ver != 0 {
+		return g, ErrMalformed{"geneve", "unsupported version"}
+	}
+	optLen := int(b[0]&0x3f) * 4
+	g.OAM = b[1]&0x80 != 0
+	g.Critical = b[1]&0x40 != 0
+	g.Protocol = EtherType(binary.BigEndian.Uint16(b[2:4]))
+	g.VNI = binary.BigEndian.Uint32(b[4:8]) >> 8
+	g.HeaderLen = GeneveMinSize + optLen
+	if len(b) < g.HeaderLen {
+		return g, ErrTruncated{"geneve options", g.HeaderLen, len(b)}
+	}
+	opts := b[GeneveMinSize:g.HeaderLen]
+	for len(opts) >= 4 {
+		var o GeneveOption
+		o.Class = binary.BigEndian.Uint16(opts[0:2])
+		o.Type = opts[2]
+		dataLen := int(opts[3]&0x1f) * 4
+		if len(opts) < 4+dataLen {
+			return g, ErrMalformed{"geneve", "option data overruns header"}
+		}
+		o.Data = opts[4 : 4+dataLen]
+		g.Options = append(g.Options, o)
+		opts = opts[4+dataLen:]
+	}
+	return g, nil
+}
+
+// SerializedLen returns the encoded length including options.
+func (g *Geneve) SerializedLen() int {
+	n := GeneveMinSize
+	for _, o := range g.Options {
+		n += 4 + len(o.Data)
+	}
+	return n
+}
+
+// SerializeTo writes the Geneve header into b and returns the bytes written.
+func (g *Geneve) SerializeTo(b []byte) int {
+	n := g.SerializedLen()
+	_ = b[n-1]
+	optLen := (n - GeneveMinSize) / 4
+	b[0] = byte(optLen & 0x3f)
+	b[1] = 0
+	if g.OAM {
+		b[1] |= 0x80
+	}
+	if g.Critical {
+		b[1] |= 0x40
+	}
+	binary.BigEndian.PutUint16(b[2:4], uint16(g.Protocol))
+	binary.BigEndian.PutUint32(b[4:8], g.VNI<<8)
+	off := GeneveMinSize
+	for _, o := range g.Options {
+		binary.BigEndian.PutUint16(b[off:], o.Class)
+		b[off+2] = o.Type
+		b[off+3] = byte(len(o.Data) / 4)
+		copy(b[off+4:], o.Data)
+		off += 4 + len(o.Data)
+	}
+	return n
+}
+
+// VXLAN is a decoded VXLAN header (RFC 7348).
+type VXLAN struct {
+	VNI uint32 // 24-bit
+}
+
+// ParseVXLAN decodes a VXLAN header from b.
+func ParseVXLAN(b []byte) (VXLAN, error) {
+	var v VXLAN
+	if len(b) < VXLANSize {
+		return v, ErrTruncated{"vxlan", VXLANSize, len(b)}
+	}
+	if b[0]&0x08 == 0 {
+		return v, ErrMalformed{"vxlan", "I flag not set"}
+	}
+	v.VNI = binary.BigEndian.Uint32(b[4:8]) >> 8
+	return v, nil
+}
+
+// SerializeTo writes the VXLAN header into b and returns the bytes written.
+func (v *VXLAN) SerializeTo(b []byte) int {
+	_ = b[VXLANSize-1]
+	b[0], b[1], b[2], b[3] = 0x08, 0, 0, 0
+	binary.BigEndian.PutUint32(b[4:8], v.VNI<<8)
+	return VXLANSize
+}
+
+// GRE is a decoded GRE header (RFC 2784/2890), with the key extension used
+// by ERSPAN and NVGRE-style tunnels.
+type GRE struct {
+	Protocol  EtherType
+	HasKey    bool
+	Key       uint32
+	HasSeq    bool
+	Seq       uint32
+	HeaderLen int
+}
+
+// ParseGRE decodes a GRE header from b.
+func ParseGRE(b []byte) (GRE, error) {
+	var g GRE
+	if len(b) < GREMinSize {
+		return g, ErrTruncated{"gre", GREMinSize, len(b)}
+	}
+	flags := b[0]
+	if b[0]&0x07 != 0 || b[1]&0xf8 != 0 {
+		// Reserved bits or version != 0.
+		if b[1]&0x07 != 0 {
+			return g, ErrMalformed{"gre", "unsupported version"}
+		}
+	}
+	g.Protocol = EtherType(binary.BigEndian.Uint16(b[2:4]))
+	off := GREMinSize
+	if flags&0x80 != 0 { // checksum present
+		off += 4
+	}
+	if flags&0x20 != 0 { // key present
+		if len(b) < off+4 {
+			return g, ErrTruncated{"gre key", off + 4, len(b)}
+		}
+		g.HasKey = true
+		g.Key = binary.BigEndian.Uint32(b[off:])
+		off += 4
+	}
+	if flags&0x10 != 0 { // sequence present
+		if len(b) < off+4 {
+			return g, ErrTruncated{"gre seq", off + 4, len(b)}
+		}
+		g.HasSeq = true
+		g.Seq = binary.BigEndian.Uint32(b[off:])
+		off += 4
+	}
+	if len(b) < off {
+		return g, ErrTruncated{"gre", off, len(b)}
+	}
+	g.HeaderLen = off
+	return g, nil
+}
+
+// SerializedLen returns the encoded header length.
+func (g *GRE) SerializedLen() int {
+	n := GREMinSize
+	if g.HasKey {
+		n += 4
+	}
+	if g.HasSeq {
+		n += 4
+	}
+	return n
+}
+
+// SerializeTo writes the GRE header into b and returns the bytes written.
+func (g *GRE) SerializeTo(b []byte) int {
+	n := g.SerializedLen()
+	_ = b[n-1]
+	b[0], b[1] = 0, 0
+	if g.HasKey {
+		b[0] |= 0x20
+	}
+	if g.HasSeq {
+		b[0] |= 0x10
+	}
+	binary.BigEndian.PutUint16(b[2:4], uint16(g.Protocol))
+	off := GREMinSize
+	if g.HasKey {
+		binary.BigEndian.PutUint32(b[off:], g.Key)
+		off += 4
+	}
+	if g.HasSeq {
+		binary.BigEndian.PutUint32(b[off:], g.Seq)
+	}
+	return n
+}
+
+// EtherTypeTransparentEtherBridging is the GRE protocol for encapsulated
+// Ethernet frames (used by NVGRE-style tunnels).
+const EtherTypeTransparentEtherBridging EtherType = 0x6558
+
+// EtherTypeERSPAN is the GRE protocol value for ERSPAN type II sessions.
+const EtherTypeERSPAN EtherType = 0x88be

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram records samples (typically latencies in virtual nanoseconds) and
+// reports percentiles the way netperf does in the paper's Figures 10 and 11
+// (P50/P90/P99).
+type Histogram struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Record adds one sample.
+func (h *Histogram) Record(v float64) {
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// RecordTime adds one virtual-time sample.
+func (h *Histogram) RecordTime(t Time) { h.Record(float64(t)) }
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return h.samples[n-1]
+	}
+	return h.samples[lo]*(1-frac) + h.samples[lo+1]*frac
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 { return h.Percentile(0) }
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 { return h.Percentile(100) }
+
+// Summary holds the three percentiles the paper reports.
+type Summary struct {
+	P50, P90, P99 float64
+}
+
+// Summarize returns the P50/P90/P99 summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{h.Percentile(50), h.Percentile(90), h.Percentile(99)}
+}
+
+// String formats the summary with microsecond units, matching the paper's
+// figures.
+func (s Summary) String() string {
+	return fmt.Sprintf("P50=%.1fus P90=%.1fus P99=%.1fus",
+		s.P50/float64(Microsecond), s.P90/float64(Microsecond), s.P99/float64(Microsecond))
+}
+
+// Counter is a monotonically increasing event tally with a helper for
+// computing rates over a virtual-time window.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current tally.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// RatePerSec returns events per second of virtual time across the window.
+func (c *Counter) RatePerSec(window Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.n) / window.Seconds()
+}

@@ -1,0 +1,177 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that underpins every experiment in this repository.
+//
+// The paper's evaluation measures nanosecond-scale packet-processing paths on
+// real hardware. Timing real Go code at that scale is unreliable (garbage
+// collection, scheduler noise), so instead the datapaths in this repository
+// execute their real data-structure logic while *charging* calibrated costs
+// in virtual nanoseconds to simulated CPUs. The engine orders all work on a
+// single virtual clock, which makes every run bit-for-bit reproducible.
+//
+// The engine is intentionally single-goroutine: events run one at a time in
+// timestamp order (ties broken by scheduling order), so simulated code needs
+// no locking and experiments are deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. Durations are also expressed as Time.
+type Time int64
+
+// Common durations, mirroring time.Duration conventions.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts t to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit, e.g. "1.5ms".
+func (t Time) String() string {
+	switch abs := math.Abs(float64(t)); {
+	case abs >= float64(Second):
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case abs >= float64(Millisecond):
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case abs >= float64(Microsecond):
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events with equal timestamps
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is a discrete-event simulator with a virtual clock.
+//
+// An Engine also owns the simulation's CPUs and its deterministic random
+// number generator, so that a single seed fully determines an experiment.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	cpus    []*CPU
+	rng     *Rand
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// stream is derived from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Schedule runs fn after delay d. A negative delay is treated as zero.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.ScheduleAt(e.now+d, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t. Scheduling in the past is an
+// error in the simulation logic and panics to surface the bug immediately.
+func (e *Engine) ScheduleAt(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > t {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Stop halts Run or RunUntil after the current event completes. Pending
+// events are retained and a subsequent Run resumes them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// NewCPU allocates a simulated CPU (one hardware hyperthread) and registers
+// it with the engine for utilization reporting.
+func (e *Engine) NewCPU(name string) *CPU {
+	c := &CPU{engine: e, id: len(e.cpus), name: name}
+	e.cpus = append(e.cpus, c)
+	return c
+}
+
+// CPUs returns all CPUs created on this engine, in creation order.
+func (e *Engine) CPUs() []*CPU { return e.cpus }
+
+// CPUReport sums busy time per category across all CPUs and divides by the
+// elapsed window, yielding "units of a hyperthread" exactly as the paper's
+// Table 4 reports CPU consumption.
+func (e *Engine) CPUReport(elapsed Time) Usage {
+	var u Usage
+	if elapsed <= 0 {
+		return u
+	}
+	for _, c := range e.cpus {
+		for cat := Category(0); cat < NumCategories; cat++ {
+			u[cat] += float64(c.busy[cat]) / float64(elapsed)
+		}
+	}
+	return u
+}

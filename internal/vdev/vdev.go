@@ -1,0 +1,159 @@
+// Package vdev provides the virtual devices of Sections 3.3 and 3.4: the
+// building-block bounded packet queue with wakeup signalling, and on top of
+// it the tap device (kernel-mediated, one system call per send from
+// userspace), the vhostuser ring pair (shared memory, no kernel crossing),
+// and the veth pair (two queues back-to-back across namespaces).
+//
+// Costs are charged by the layers that drive these devices; vdev itself
+// only implements the mechanics (bounded queues, loss on overflow, wakeup
+// callbacks for interrupt-style consumers).
+package vdev
+
+import (
+	"fmt"
+
+	"ovsxdp/internal/packet"
+)
+
+// DefaultQueueDepth bounds a device queue.
+const DefaultQueueDepth = 1024
+
+// Queue is a bounded FIFO of packets with an optional armed wakeup: when a
+// packet arrives while the queue is empty and a consumer armed the wakeup,
+// the callback fires once (the consumer re-arms after draining, NAPI
+// style).
+type Queue struct {
+	Name  string
+	depth int
+	items []*packet.Packet
+
+	wakeFn    func()
+	wakeArmed bool
+
+	// Stats.
+	Enqueued uint64
+	Dropped  uint64
+}
+
+// NewQueue builds a queue with the given depth (<=0 selects the default).
+func NewQueue(name string, depth int) *Queue {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	return &Queue{Name: name, depth: depth}
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Cap returns the queue depth.
+func (q *Queue) Cap() int { return q.depth }
+
+// Push enqueues a packet, dropping (and counting) on overflow. It fires the
+// armed wakeup when the queue transitions from empty.
+func (q *Queue) Push(p *packet.Packet) bool {
+	if len(q.items) >= q.depth {
+		q.Dropped++
+		return false
+	}
+	wasEmpty := len(q.items) == 0
+	q.items = append(q.items, p)
+	q.Enqueued++
+	if wasEmpty && q.wakeArmed && q.wakeFn != nil {
+		q.wakeArmed = false
+		q.wakeFn()
+	}
+	return true
+}
+
+// Pop dequeues up to max packets.
+func (q *Queue) Pop(max int) []*packet.Packet {
+	n := max
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	out := q.items[:n:n]
+	q.items = append([]*packet.Packet(nil), q.items[n:]...)
+	return out
+}
+
+// SetWakeup installs the wakeup callback.
+func (q *Queue) SetWakeup(fn func()) { q.wakeFn = fn }
+
+// ArmWakeup requests a callback at the next empty-to-nonempty transition;
+// if packets are already waiting the callback fires immediately.
+func (q *Queue) ArmWakeup() {
+	if len(q.items) > 0 && q.wakeFn != nil {
+		q.wakeFn()
+		return
+	}
+	q.wakeArmed = true
+}
+
+// String summarizes occupancy.
+func (q *Queue) String() string {
+	return fmt.Sprintf("%s{%d/%d, drop=%d}", q.Name, len(q.items), q.depth, q.Dropped)
+}
+
+// Tap is the kernel tap device of Section 3.3 path A: userspace writes
+// packets with a sendto() system call into ToKernel; the kernel stack (or a
+// VM via QEMU) reads from it, and injects packets back through FromKernel.
+type Tap struct {
+	Name string
+	// ToKernel carries packets from OVS userspace into the kernel/VM.
+	ToKernel *Queue
+	// FromKernel carries packets from the kernel/VM to OVS userspace.
+	FromKernel *Queue
+}
+
+// NewTap builds a tap device.
+func NewTap(name string) *Tap {
+	return &Tap{
+		Name:       name,
+		ToKernel:   NewQueue(name+":to-kernel", 0),
+		FromKernel: NewQueue(name+":from-kernel", 0),
+	}
+}
+
+// VhostUser is the shared-memory virtio ring pair of Section 3.3 path B:
+// OVS userspace and the VM exchange packets without any kernel crossing.
+type VhostUser struct {
+	Name string
+	// ToGuest is the ring OVS produces into (guest rx).
+	ToGuest *Queue
+	// FromGuest is the ring the guest produces into (guest tx).
+	FromGuest *Queue
+}
+
+// NewVhostUser builds a vhostuser device.
+func NewVhostUser(name string) *VhostUser {
+	return &VhostUser{
+		Name:      name,
+		ToGuest:   NewQueue(name+":to-guest", 0),
+		FromGuest: NewQueue(name+":from-guest", 0),
+	}
+}
+
+// VethPair is the namespace-crossing device of Section 3.4: what one end
+// sends, the other end receives, with no data copy.
+type VethPair struct {
+	Name string
+	// AtoB carries host-side sends to the container; BtoA the reverse.
+	AtoB *Queue
+	BtoA *Queue
+}
+
+// NewVethPair builds a veth pair.
+func NewVethPair(name string) *VethPair {
+	return &VethPair{
+		Name: name,
+		AtoB: NewQueue(name+":a-to-b", 0),
+		BtoA: NewQueue(name+":b-to-a", 0),
+	}
+}
+
+// SendA transmits from the A (host) end.
+func (v *VethPair) SendA(p *packet.Packet) bool { return v.AtoB.Push(p) }
+
+// SendB transmits from the B (container) end.
+func (v *VethPair) SendB(p *packet.Packet) bool { return v.BtoA.Push(p) }

@@ -1,0 +1,105 @@
+package vdev
+
+import (
+	"testing"
+
+	"ovsxdp/internal/packet"
+)
+
+func pkt() *packet.Packet { return packet.New(make([]byte, 64)) }
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue("q", 4)
+	a, b := pkt(), pkt()
+	q.Push(a)
+	q.Push(b)
+	out := q.Pop(10)
+	if len(out) != 2 || out[0] != a || out[1] != b {
+		t.Fatal("FIFO order violated")
+	}
+	if q.Len() != 0 {
+		t.Fatal("pop must drain")
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	q := NewQueue("q", 2)
+	for i := 0; i < 5; i++ {
+		q.Push(pkt())
+	}
+	if q.Len() != 2 || q.Dropped != 3 || q.Enqueued != 2 {
+		t.Fatalf("len=%d dropped=%d enq=%d", q.Len(), q.Dropped, q.Enqueued)
+	}
+}
+
+func TestQueueWakeupOnTransition(t *testing.T) {
+	q := NewQueue("q", 8)
+	fired := 0
+	q.SetWakeup(func() { fired++ })
+	q.ArmWakeup()
+	q.Push(pkt())
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// Not armed anymore: second push is silent.
+	q.Push(pkt())
+	if fired != 1 {
+		t.Fatal("wakeup must be one-shot")
+	}
+	// Arming with packets pending fires immediately.
+	q.ArmWakeup()
+	if fired != 2 {
+		t.Fatal("arming a non-empty queue must fire immediately")
+	}
+}
+
+func TestQueueWakeupOnlyOnEmptyTransition(t *testing.T) {
+	q := NewQueue("q", 8)
+	fired := 0
+	q.SetWakeup(func() { fired++ })
+	q.Push(pkt()) // not armed: no fire
+	q.ArmWakeup() // non-empty: fires now
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+func TestQueueDefaultDepth(t *testing.T) {
+	if NewQueue("q", 0).Cap() != DefaultQueueDepth {
+		t.Fatal("default depth not applied")
+	}
+}
+
+func TestTapQueuesAreDistinct(t *testing.T) {
+	tap := NewTap("tap0")
+	tap.ToKernel.Push(pkt())
+	if tap.FromKernel.Len() != 0 {
+		t.Fatal("tap directions must be independent")
+	}
+}
+
+func TestVhostRings(t *testing.T) {
+	v := NewVhostUser("vhost0")
+	p := pkt()
+	v.ToGuest.Push(p)
+	got := v.ToGuest.Pop(1)
+	if len(got) != 1 || got[0] != p {
+		t.Fatal("vhost ring lost the packet")
+	}
+}
+
+func TestVethPairCrossing(t *testing.T) {
+	v := NewVethPair("veth0")
+	p := pkt()
+	if !v.SendA(p) {
+		t.Fatal("send failed")
+	}
+	got := v.AtoB.Pop(1)
+	if len(got) != 1 || got[0] != p {
+		t.Fatal("A->B crossing failed")
+	}
+	v.SendB(p)
+	if v.BtoA.Len() != 1 {
+		t.Fatal("B->A crossing failed")
+	}
+}

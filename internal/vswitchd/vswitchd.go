@@ -1,0 +1,311 @@
+// Package vswitchd is the ovs-vswitchd analog: the userspace daemon that
+// owns the datapath, reconfigures it from OVSDB (bridges, ports, interface
+// types), accepts OpenFlow connections that program the pipeline, manages
+// the XDP program lifecycle on AF_XDP ports, and — per the Section 6
+// lessons — survives its own crashes by auto-restarting instead of taking
+// the host down with it.
+package vswitchd
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"ovsxdp/internal/core"
+	"ovsxdp/internal/ofproto"
+	"ovsxdp/internal/openflow"
+	"ovsxdp/internal/ovsdb"
+)
+
+// PortFactory builds a datapath port for an Interface row. The experiment
+// or example wiring supplies it, since only the caller knows which NICs
+// and virtual devices exist.
+type PortFactory func(ifType, name string, options map[string]string) (core.Port, error)
+
+// Bridge is one OVS bridge.
+type Bridge struct {
+	Name string
+	// Ports maps port name to datapath port id.
+	Ports map[string]uint32
+}
+
+// VSwitchd is the daemon.
+type VSwitchd struct {
+	mu sync.Mutex
+
+	DB       *ovsdb.Server
+	Pipeline *ofproto.Pipeline
+	Datapath *core.Datapath
+	Factory  PortFactory
+
+	bridges map[string]*Bridge
+	nextID  uint32
+
+	ofLn net.Listener
+
+	// Health monitoring (Section 6 "Reduced risk" / "Easier
+	// troubleshooting"): a panic in packet processing crashes only the
+	// daemon; the monitor restarts it and the flow caches rebuild from
+	// upcalls.
+	Crashes  uint64
+	Restarts uint64
+	// OnRestart, when set, is called after an auto-restart completes.
+	OnRestart func()
+
+	// FlowMods counts rules installed via OpenFlow.
+	FlowMods uint64
+}
+
+// New builds a daemon around a datapath and database.
+func New(db *ovsdb.Server, dp *core.Datapath) *VSwitchd {
+	v := &VSwitchd{
+		DB:       db,
+		Pipeline: dp.Pipeline,
+		Datapath: dp,
+		bridges:  make(map[string]*Bridge),
+		nextID:   1,
+	}
+	if db != nil {
+		db.OnChange = v.onDBChange
+	}
+	return v
+}
+
+// Bridges returns the bridge names.
+func (v *VSwitchd) Bridges() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var names []string
+	for n := range v.bridges {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Bridge returns a bridge by name.
+func (v *VSwitchd) Bridge(name string) (*Bridge, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	b, ok := v.bridges[name]
+	return b, ok
+}
+
+// onDBChange reacts to OVSDB updates: bridges appear/disappear, interfaces
+// become datapath ports.
+func (v *VSwitchd) onDBChange(u ovsdb.Update) {
+	switch u.Table {
+	case ovsdb.TableBridge:
+		name, _ := u.Row["name"].(string)
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		switch u.Op {
+		case "insert":
+			if _, ok := v.bridges[name]; !ok {
+				v.bridges[name] = &Bridge{Name: name, Ports: make(map[string]uint32)}
+			}
+		case "delete":
+			delete(v.bridges, name)
+		}
+	case ovsdb.TableInterface:
+		if u.Op != "insert" {
+			return
+		}
+		name, _ := u.Row["name"].(string)
+		ifType, _ := u.Row["type"].(string)
+		bridge, _ := u.Row["bridge"].(string)
+		opts := map[string]string{}
+		if m, ok := u.Row["options"].(map[string]any); ok {
+			for k, val := range m {
+				opts[k] = fmt.Sprint(val)
+			}
+		}
+		if err := v.AddPort(bridge, name, ifType, opts); err != nil {
+			// Configuration errors surface via the Interface row.
+			v.DB.Transact([]ovsdb.Op{{Op: "update", Table: ovsdb.TableInterface,
+				UUID: u.Row.UUID(), Row: ovsdb.Row{"error": err.Error()}}})
+		}
+	}
+}
+
+// AddPort creates a datapath port on a bridge using the factory. For
+// afxdp interfaces, the factory is expected to load and attach the XDP
+// program (core.AttachDefaultProgram) — the lifecycle step Section 4
+// describes.
+func (v *VSwitchd) AddPort(bridge, name, ifType string, options map[string]string) error {
+	if v.Factory == nil {
+		return fmt.Errorf("vswitchd: no port factory configured")
+	}
+	port, err := v.Factory(ifType, name, options)
+	if err != nil {
+		return fmt.Errorf("vswitchd: creating %s port %q: %w", ifType, name, err)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	b, ok := v.bridges[bridge]
+	if !ok {
+		return fmt.Errorf("vswitchd: no bridge %q", bridge)
+	}
+	v.Datapath.AddPort(port)
+	b.Ports[name] = port.ID()
+	return nil
+}
+
+// NextPortID hands out datapath port numbers for factories that need them.
+func (v *VSwitchd) NextPortID() uint32 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	id := v.nextID
+	v.nextID++
+	return id
+}
+
+// DelPort removes a port from its bridge and the datapath.
+func (v *VSwitchd) DelPort(bridge, name string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	b, ok := v.bridges[bridge]
+	if !ok {
+		return fmt.Errorf("vswitchd: no bridge %q", bridge)
+	}
+	id, ok := b.Ports[name]
+	if !ok {
+		return fmt.Errorf("vswitchd: no port %q on %q", name, bridge)
+	}
+	v.Datapath.RemovePort(id)
+	delete(b.Ports, name)
+	return nil
+}
+
+// --- OpenFlow endpoint ---------------------------------------------------------
+
+// ServeOpenFlow accepts controller connections on addr and returns the
+// bound address.
+func (v *VSwitchd) ServeOpenFlow(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	v.ofLn = ln
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go v.handleOpenFlow(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close shuts down the OpenFlow listener.
+func (v *VSwitchd) Close() {
+	if v.ofLn != nil {
+		v.ofLn.Close()
+	}
+}
+
+func (v *VSwitchd) handleOpenFlow(conn net.Conn) {
+	defer conn.Close()
+	openflow.WriteMessage(conn, openflow.Hello(0))
+	for {
+		msg, err := openflow.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case openflow.TypeHello:
+			// Version negotiated; nothing to do.
+		case openflow.TypeEchoRequest:
+			openflow.WriteMessage(conn, openflow.EchoReply(msg))
+		case openflow.TypeFeaturesReq:
+			openflow.WriteMessage(conn, openflow.FeaturesReply(msg.Xid, 0x0000feedbeef0001))
+		case openflow.TypeFlowMod:
+			fm, err := openflow.DecodeFlowMod(msg)
+			if err != nil {
+				openflow.WriteMessage(conn, openflow.ErrorMsg(msg.Xid, 4, 0, nil))
+				continue
+			}
+			v.ApplyFlowMod(fm)
+		case openflow.TypeMultipartReq:
+			table, err := openflow.ParseFlowStatsRequest(msg)
+			if err != nil {
+				openflow.WriteMessage(conn, openflow.ErrorMsg(msg.Xid, 18, 0, nil))
+				continue
+			}
+			openflow.WriteMessage(conn, openflow.FlowStatsReply(msg.Xid, v.FlowStats(table)))
+		default:
+			openflow.WriteMessage(conn, openflow.ErrorMsg(msg.Xid, 1, 0, nil))
+		}
+	}
+}
+
+// ApplyFlowMod installs or removes a rule and revalidates datapath flows.
+func (v *VSwitchd) ApplyFlowMod(fm openflow.FlowMod) {
+	switch fm.Command {
+	case openflow.FlowModAdd:
+		v.Pipeline.AddRule(&ofproto.Rule{
+			TableID:  fm.TableID,
+			Priority: fm.Priority,
+			Cookie:   fm.Cookie,
+			Match:    fm.Match,
+			Actions:  fm.Actions,
+		})
+	case openflow.FlowModDelete:
+		v.Pipeline.Table(fm.TableID).Remove(fm.Match, fm.Priority)
+	}
+	v.FlowMods++
+	// Revalidation: cached megaflows may encode stale decisions.
+	v.Datapath.FlushFlows()
+}
+
+// FlowStats gathers per-rule statistics for a table (0xff = all tables),
+// the data behind ovs-ofctl dump-flows.
+func (v *VSwitchd) FlowStats(table uint8) []openflow.FlowStatEntry {
+	var out []openflow.FlowStatEntry
+	tables := v.Pipeline.TableIDs()
+	for _, id := range tables {
+		if table != 0xff && id != table {
+			continue
+		}
+		for _, r := range v.Pipeline.Table(id).Rules() {
+			out = append(out, openflow.FlowStatEntry{
+				Table:    r.TableID,
+				Priority: r.Priority,
+				Packets:  r.PacketCount,
+				Cookie:   r.Cookie,
+			})
+		}
+	}
+	return out
+}
+
+// --- Health monitor --------------------------------------------------------------
+
+// Guard wraps a packet-path call; a panic is converted into a crash +
+// restart cycle instead of propagating (the userspace analog of "a bug in
+// OVS with AF_XDP only crashes the OVS process, which automatically
+// restarts").
+func (v *VSwitchd) Guard(fn func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			crashed = true
+			v.Crashes++
+			v.restart()
+		}
+	}()
+	fn()
+	return false
+}
+
+// restart is the health-monitor action: flush all cached flow state (the
+// process died; caches die with it) and resume. Ports and OpenFlow rules
+// survive because their configuration lives in OVSDB / the controller,
+// which re-installs on reconnect — modeled here by retaining the pipeline.
+func (v *VSwitchd) restart() {
+	v.Datapath.FlushFlows()
+	v.Restarts++
+	if v.OnRestart != nil {
+		v.OnRestart()
+	}
+}

@@ -1,0 +1,256 @@
+package vswitchd
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"ovsxdp/internal/core"
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/nicsim"
+	"ovsxdp/internal/ofproto"
+	"ovsxdp/internal/openflow"
+	"ovsxdp/internal/ovsdb"
+	"ovsxdp/internal/sim"
+	"ovsxdp/internal/vdev"
+)
+
+func testDaemon(t *testing.T) (*VSwitchd, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	dp := core.NewDatapath(eng, ofproto.NewPipeline(), core.DefaultOptions())
+	db := ovsdb.NewServer()
+	v := New(db, dp)
+	v.Factory = func(ifType, name string, options map[string]string) (core.Port, error) {
+		id := v.NextPortID()
+		switch ifType {
+		case "afxdp":
+			nic := nicsim.New(eng, nicsim.Config{Name: name, Ifindex: id, Queues: 1})
+			if _, err := core.AttachDefaultProgram(nic); err != nil {
+				return nil, err
+			}
+			return core.NewAFXDPPort(core.AFXDPPortConfig{ID: id, NIC: nic, Eng: eng}), nil
+		case "tap":
+			return core.NewTapPort(id, vdev.NewTap(name)), nil
+		default:
+			return nil, fmt.Errorf("unsupported type %q", ifType)
+		}
+	}
+	return v, eng
+}
+
+func TestBridgeAndPortFromOVSDB(t *testing.T) {
+	v, _ := testDaemon(t)
+	v.DB.Transact([]ovsdb.Op{
+		{Op: "insert", Table: ovsdb.TableBridge, Row: ovsdb.Row{"name": "br-int"}},
+		{Op: "insert", Table: ovsdb.TableInterface,
+			Row: ovsdb.Row{"name": "eth0", "type": "afxdp", "bridge": "br-int"}},
+		{Op: "insert", Table: ovsdb.TableInterface,
+			Row: ovsdb.Row{"name": "tap0", "type": "tap", "bridge": "br-int"}},
+	})
+	b, ok := v.Bridge("br-int")
+	if !ok {
+		t.Fatal("bridge not created")
+	}
+	if len(b.Ports) != 2 {
+		t.Fatalf("ports = %v", b.Ports)
+	}
+	if v.Datapath.Ports() != 2 {
+		t.Fatalf("datapath ports = %d", v.Datapath.Ports())
+	}
+}
+
+func TestBadInterfaceTypeRecordsError(t *testing.T) {
+	v, _ := testDaemon(t)
+	v.DB.Transact([]ovsdb.Op{
+		{Op: "insert", Table: ovsdb.TableBridge, Row: ovsdb.Row{"name": "br-int"}},
+		{Op: "insert", Table: ovsdb.TableInterface,
+			Row: ovsdb.Row{"name": "x0", "type": "quantum", "bridge": "br-int"}},
+	})
+	rows := v.DB.Rows(ovsdb.TableInterface)
+	if len(rows) != 1 || rows[0]["error"] == nil {
+		t.Fatalf("interface error not recorded: %+v", rows)
+	}
+	if v.Datapath.Ports() != 0 {
+		t.Fatal("failed port must not attach")
+	}
+}
+
+func TestDelPort(t *testing.T) {
+	v, _ := testDaemon(t)
+	v.DB.Transact([]ovsdb.Op{
+		{Op: "insert", Table: ovsdb.TableBridge, Row: ovsdb.Row{"name": "br0"}},
+		{Op: "insert", Table: ovsdb.TableInterface,
+			Row: ovsdb.Row{"name": "tap0", "type": "tap", "bridge": "br0"}},
+	})
+	if err := v.DelPort("br0", "tap0"); err != nil {
+		t.Fatal(err)
+	}
+	if v.Datapath.Ports() != 0 {
+		t.Fatal("port not removed from datapath")
+	}
+	if err := v.DelPort("br0", "tap0"); err == nil {
+		t.Fatal("double delete must fail")
+	}
+}
+
+func TestOpenFlowSessionInstallsRules(t *testing.T) {
+	v, _ := testDaemon(t)
+	addr, err := v.ServeOpenFlow("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	conn, err := dialOF(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Features handshake.
+	openflow.WriteMessage(conn, openflow.Message{Type: openflow.TypeFeaturesReq, Xid: 5})
+	reply, err := readUntil(conn, openflow.TypeFeaturesReply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openflow.ParseFeaturesReply(reply); err != nil {
+		t.Fatal(err)
+	}
+
+	// Install a rule.
+	m := ofproto.NewMatch(flow.Fields{InPort: 1}, flow.NewMaskBuilder().InPort().Build())
+	fm := openflow.EncodeFlowMod(openflow.FlowMod{
+		Command: openflow.FlowModAdd, TableID: 0, Priority: 10,
+		Match: m, Actions: []ofproto.Action{ofproto.Output(2)}})
+	if err := openflow.WriteMessage(conn, fm); err != nil {
+		t.Fatal(err)
+	}
+	// Echo round trip serializes behind the flow mod.
+	openflow.WriteMessage(conn, openflow.EchoRequest(9, nil))
+	if _, err := readUntil(conn, openflow.TypeEchoReply); err != nil {
+		t.Fatal(err)
+	}
+
+	if v.Pipeline.RuleCount() != 1 {
+		t.Fatalf("pipeline rules = %d", v.Pipeline.RuleCount())
+	}
+	if v.FlowMods != 1 {
+		t.Fatalf("flow mods = %d", v.FlowMods)
+	}
+}
+
+func TestGuardRecoversCrash(t *testing.T) {
+	v, _ := testDaemon(t)
+	restarted := false
+	v.OnRestart = func() { restarted = true }
+
+	crashed := v.Guard(func() { panic("geneve parser null deref") })
+	if !crashed {
+		t.Fatal("crash not detected")
+	}
+	if v.Crashes != 1 || v.Restarts != 1 || !restarted {
+		t.Fatalf("crashes=%d restarts=%d", v.Crashes, v.Restarts)
+	}
+	// The daemon keeps working afterwards.
+	if v.Guard(func() {}) {
+		t.Fatal("healthy call reported as crash")
+	}
+}
+
+// dialOF connects and performs the hello exchange.
+func dialOF(addr string) (conn netConn, err error) {
+	c, err := dialTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := openflow.WriteMessage(c, openflow.Hello(1)); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if _, err := readUntil(c, openflow.TypeHello); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+type netConn interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+	Close() error
+}
+
+func dialTCP(addr string) (netConn, error) {
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		c, err := netDial(addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+func readUntil(c netConn, want openflow.MsgType) (openflow.Message, error) {
+	for {
+		m, err := openflow.ReadMessage(c)
+		if err != nil {
+			return m, err
+		}
+		if m.Type == want {
+			return m, nil
+		}
+	}
+}
+
+func netDial(addr string) (netConn, error) { return net.Dial("tcp", addr) }
+
+func TestOpenFlowDumpFlows(t *testing.T) {
+	v, _ := testDaemon(t)
+	// Install two rules directly.
+	v.ApplyFlowMod(openflow.FlowMod{Command: openflow.FlowModAdd, TableID: 0, Priority: 10,
+		Match:   ofproto.NewMatch(flow.Fields{InPort: 1}, flow.NewMaskBuilder().InPort().Build()),
+		Actions: []ofproto.Action{ofproto.Output(2)}})
+	v.ApplyFlowMod(openflow.FlowMod{Command: openflow.FlowModAdd, TableID: 5, Priority: 20,
+		Match:   ofproto.NewMatch(flow.Fields{InPort: 2}, flow.NewMaskBuilder().InPort().Build()),
+		Actions: []ofproto.Action{ofproto.Drop()}})
+
+	addr, err := v.ServeOpenFlow("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	conn, err := dialOF(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	openflow.WriteMessage(conn, openflow.FlowStatsRequest(7, 0xff))
+	reply, err := readUntil(conn, openflow.TypeMultipartReply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := openflow.ParseFlowStatsReply(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("dump-flows returned %d entries", len(entries))
+	}
+
+	// Single-table dump.
+	openflow.WriteMessage(conn, openflow.FlowStatsRequest(8, 5))
+	reply, err = readUntil(conn, openflow.TypeMultipartReply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = openflow.ParseFlowStatsReply(reply)
+	if len(entries) != 1 || entries[0].Table != 5 || entries[0].Priority != 20 {
+		t.Fatalf("table-5 dump = %+v", entries)
+	}
+}

@@ -1,0 +1,261 @@
+package xdp
+
+import (
+	"ovsxdp/internal/ebpf"
+)
+
+// Conventional map ids used by the library programs.
+const (
+	MapIDXsk int64 = 1 // xskmap: queue -> AF_XDP socket
+	MapIDDev int64 = 2 // devmap: index -> target device
+	MapIDL2  int64 = 3 // hash: dst MAC (8-byte key) -> 4-byte value
+	MapIDLB  int64 = 4 // array: backend index -> 4-byte backend IP
+)
+
+// NewPassToXsk builds the program OVS installs by default: redirect every
+// packet to the AF_XDP socket registered for its receive queue ("an XDP
+// hook program that simply sends every packet to OVS in userspace"). The
+// fallback when a queue has no socket is XDP_PASS so management traffic
+// still reaches the kernel stack during reconfiguration.
+func NewPassToXsk(xsk *ebpf.TargetMap) *ebpf.Program {
+	p := ebpf.NewAsm().
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R2, ebpf.R1, ebpf.CtxRxQueue)).
+		I(ebpf.MovImm(ebpf.R1, MapIDXsk)).
+		I(ebpf.MovImm(ebpf.R3, ebpf.XDPPass)).
+		I(ebpf.Call(ebpf.HelperRedirectMap)).
+		I(ebpf.Exit()).
+		MustAssemble("ovs-pass-to-xsk")
+	p.AttachMap(MapIDXsk, xsk)
+	return p
+}
+
+// NewDropAll builds Table 5's task A: "drops all incoming packets without
+// examining them". The prologue mirrors what p4c-xdp emits (context field
+// loads even when unused), matching the paper's P4-generated programs.
+func NewDropAll() *ebpf.Program {
+	return ebpf.NewAsm().
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R2, ebpf.R1, ebpf.CtxData)).
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R3, ebpf.R1, ebpf.CtxDataEnd)).
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R4, ebpf.R1, ebpf.CtxIngressIface)).
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R5, ebpf.R1, ebpf.CtxRxQueue)).
+		I(ebpf.MovImm(ebpf.R6, 0)). // accepted-headers bitmap, P4 style
+		I(ebpf.MovImm(ebpf.R0, ebpf.XDPDrop)).
+		I(ebpf.Exit()).
+		MustAssemble("task-a-drop")
+}
+
+// parsePrologue emits the P4-style parser shared by tasks B, C and D:
+// bounds-check and field-extract the Ethernet and IPv4 headers into a stack
+// struct, jumping to rejectLabel when the packet does not parse. On exit
+// R6 holds the packet pointer (34 bytes verified), R9 holds the context,
+// and the extracted fields live at fixed stack offsets.
+//
+// Stack layout (offsets from R10):
+//
+//	-64: eth.dst (4+2)   -56: eth.src (4+2)   -50: eth.type (2)
+//	-48: ip.ver_ihl      -47: ip.tos          -46: ip.totlen
+//	-44: ip.id           -42: ip.frag         -40: ip.ttl
+//	-39: ip.proto        -38: ip.csum         -36: ip.src (4)   -32: ip.dst (4)
+func parsePrologue(a *ebpf.Asm, rejectLabel string) *ebpf.Asm {
+	extract := func(size ebpf.Size, pktOff, stackOff int16) {
+		a.I(ebpf.Ldx(size, ebpf.R2, ebpf.R6, pktOff))
+		a.I(ebpf.Stx(size, ebpf.R10, stackOff, ebpf.R2))
+	}
+	a.I(ebpf.Mov(ebpf.R9, ebpf.R1)).
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R6, ebpf.R1, ebpf.CtxData)).
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R7, ebpf.R1, ebpf.CtxDataEnd)).
+		// Ethernet bounds.
+		I(ebpf.Mov(ebpf.R8, ebpf.R6)).
+		I(ebpf.AddImm(ebpf.R8, 14)).
+		Jmp(ebpf.Jgt(ebpf.R8, ebpf.R7, 0), rejectLabel)
+	extract(ebpf.SizeW, 0, -64) // eth.dst[0:4]
+	extract(ebpf.SizeH, 4, -60) // eth.dst[4:6]
+	extract(ebpf.SizeW, 6, -56) // eth.src[0:4]
+	extract(ebpf.SizeH, 10, -52)
+	extract(ebpf.SizeH, 12, -50) // ethertype (left in R2)
+	a.Jmp(ebpf.JneImm(ebpf.R2, 0x0800, 0), rejectLabel).
+		// IPv4 bounds.
+		I(ebpf.Mov(ebpf.R8, ebpf.R6)).
+		I(ebpf.AddImm(ebpf.R8, 34)).
+		Jmp(ebpf.Jgt(ebpf.R8, ebpf.R7, 0), rejectLabel)
+	extract(ebpf.SizeB, 14, -48) // ver/ihl
+	extract(ebpf.SizeB, 15, -47) // tos
+	extract(ebpf.SizeH, 16, -46) // total length
+	extract(ebpf.SizeH, 18, -44) // id
+	extract(ebpf.SizeH, 20, -42) // frag
+	extract(ebpf.SizeB, 22, -40) // ttl
+	extract(ebpf.SizeB, 23, -39) // proto
+	extract(ebpf.SizeH, 24, -38) // checksum
+	extract(ebpf.SizeW, 26, -36) // src IP
+	extract(ebpf.SizeW, 30, -32) // dst IP
+	return a
+}
+
+// NewParseDrop builds Table 5's task B: "parse Eth/IPv4 header and drop".
+func NewParseDrop() *ebpf.Program {
+	a := ebpf.NewAsm()
+	parsePrologue(a, "reject").
+		I(ebpf.MovImm(ebpf.R0, ebpf.XDPDrop)).
+		I(ebpf.Exit()).
+		Label("reject").
+		I(ebpf.MovImm(ebpf.R0, ebpf.XDPDrop)).
+		I(ebpf.Exit())
+	return a.MustAssemble("task-b-parse-drop")
+}
+
+// NewParseLookupDrop builds Table 5's task C: parse, look the destination
+// MAC up in an L2 hash table, and drop.
+func NewParseLookupDrop(l2 *ebpf.HashMap) *ebpf.Program {
+	a := ebpf.NewAsm()
+	parsePrologue(a, "reject").
+		// Build the 8-byte L2 key from the extracted destination MAC.
+		I(ebpf.St(ebpf.SizeDW, ebpf.R10, -16, 0)).
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R2, ebpf.R10, -64)).
+		I(ebpf.Stx(ebpf.SizeW, ebpf.R10, -16, ebpf.R2)).
+		I(ebpf.Ldx(ebpf.SizeH, ebpf.R2, ebpf.R10, -60)).
+		I(ebpf.Stx(ebpf.SizeH, ebpf.R10, -12, ebpf.R2)).
+		I(ebpf.MovImm(ebpf.R1, MapIDL2)).
+		I(ebpf.Mov(ebpf.R2, ebpf.R10)).
+		I(ebpf.AddImm(ebpf.R2, -16)).
+		I(ebpf.Call(ebpf.HelperMapLookup)).
+		I(ebpf.MovImm(ebpf.R0, ebpf.XDPDrop)). // drop on hit or miss
+		I(ebpf.Exit()).
+		Label("reject").
+		I(ebpf.MovImm(ebpf.R0, ebpf.XDPDrop)).
+		I(ebpf.Exit())
+	p := a.MustAssemble("task-c-parse-lookup-drop")
+	p.AttachMap(MapIDL2, l2)
+	return p
+}
+
+// NewParseSwapForward builds Table 5's task D: parse, swap source and
+// destination MAC addresses, and forward out the same port (XDP_TX).
+func NewParseSwapForward() *ebpf.Program {
+	a := ebpf.NewAsm()
+	parsePrologue(a, "reject").
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R2, ebpf.R6, 0)). // dst[0:4]
+		I(ebpf.Ldx(ebpf.SizeH, ebpf.R3, ebpf.R6, 4)). // dst[4:6]
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R4, ebpf.R6, 6)). // src[0:4]
+		I(ebpf.Ldx(ebpf.SizeH, ebpf.R5, ebpf.R6, 10)).
+		I(ebpf.Stx(ebpf.SizeW, ebpf.R6, 0, ebpf.R4)).
+		I(ebpf.Stx(ebpf.SizeH, ebpf.R6, 4, ebpf.R5)).
+		I(ebpf.Stx(ebpf.SizeW, ebpf.R6, 6, ebpf.R2)).
+		I(ebpf.Stx(ebpf.SizeH, ebpf.R6, 10, ebpf.R3)).
+		I(ebpf.MovImm(ebpf.R0, ebpf.XDPTx)).
+		I(ebpf.Exit()).
+		Label("reject").
+		I(ebpf.MovImm(ebpf.R0, ebpf.XDPDrop)).
+		I(ebpf.Exit())
+	return a.MustAssemble("task-d-parse-swap-fwd")
+}
+
+// NewRedirectToVeth builds the container fast-path program of Figure 5 path
+// C: look the destination MAC up in the L2 table; on a hit redirect the
+// packet straight to the container's veth through the devmap, bypassing OVS
+// userspace; on a miss hand the packet to the AF_XDP socket so the
+// userspace datapath decides.
+func NewRedirectToVeth(l2 *ebpf.HashMap, dev *ebpf.TargetMap, xsk *ebpf.TargetMap) *ebpf.Program {
+	a := ebpf.NewAsm()
+	a.I(ebpf.Mov(ebpf.R9, ebpf.R1)).
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R6, ebpf.R1, ebpf.CtxData)).
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R7, ebpf.R1, ebpf.CtxDataEnd)).
+		I(ebpf.Mov(ebpf.R8, ebpf.R6)).
+		I(ebpf.AddImm(ebpf.R8, 14)).
+		Jmp(ebpf.Jgt(ebpf.R8, ebpf.R7, 0), "toxsk").
+		// L2 key = destination MAC, zero-padded to 8 bytes.
+		I(ebpf.St(ebpf.SizeDW, ebpf.R10, -16, 0)).
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R2, ebpf.R6, 0)).
+		I(ebpf.Stx(ebpf.SizeW, ebpf.R10, -16, ebpf.R2)).
+		I(ebpf.Ldx(ebpf.SizeH, ebpf.R2, ebpf.R6, 4)).
+		I(ebpf.Stx(ebpf.SizeH, ebpf.R10, -12, ebpf.R2)).
+		I(ebpf.MovImm(ebpf.R1, MapIDL2)).
+		I(ebpf.Mov(ebpf.R2, ebpf.R10)).
+		I(ebpf.AddImm(ebpf.R2, -16)).
+		I(ebpf.Call(ebpf.HelperMapLookup)).
+		Jmp(ebpf.JeqImm(ebpf.R0, 0, 0), "toxsk").
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R2, ebpf.R0, 0)). // devmap index
+		I(ebpf.MovImm(ebpf.R1, MapIDDev)).
+		I(ebpf.MovImm(ebpf.R3, ebpf.XDPAborted)).
+		I(ebpf.Call(ebpf.HelperRedirectMap)).
+		I(ebpf.Exit()).
+		Label("toxsk").
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R2, ebpf.R9, ebpf.CtxRxQueue)).
+		I(ebpf.MovImm(ebpf.R1, MapIDXsk)).
+		I(ebpf.MovImm(ebpf.R3, ebpf.XDPPass)).
+		I(ebpf.Call(ebpf.HelperRedirectMap)).
+		I(ebpf.Exit())
+	p := a.MustAssemble("ovs-redirect-veth")
+	p.AttachMap(MapIDL2, l2)
+	p.AttachMap(MapIDDev, dev)
+	p.AttachMap(MapIDXsk, xsk)
+	return p
+}
+
+// LBConfig parameterizes the Section 3.5 L4 load-balancer example: traffic
+// to VIP:Port/TCP is spread across the backends table and forwarded at the
+// driver level; everything else goes to OVS userspace via the AF_XDP
+// socket.
+type LBConfig struct {
+	VIP      uint32 // IPv4 virtual address, host byte order
+	Port     uint16
+	Backends *ebpf.ArrayMap // 4-byte backend IPv4 per slot
+	NumMask  int64          // len(backends)-1; backends must be a power of two
+	Xsk      *ebpf.TargetMap
+}
+
+// NewL4LoadBalancer builds the load-balancer program.
+func NewL4LoadBalancer(cfg LBConfig) *ebpf.Program {
+	a := ebpf.NewAsm()
+	a.I(ebpf.Mov(ebpf.R9, ebpf.R1)).
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R6, ebpf.R1, ebpf.CtxData)).
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R7, ebpf.R1, ebpf.CtxDataEnd)).
+		I(ebpf.Mov(ebpf.R8, ebpf.R6)).
+		I(ebpf.AddImm(ebpf.R8, 54)). // eth + ipv4 + tcp ports
+		Jmp(ebpf.Jgt(ebpf.R8, ebpf.R7, 0), "toxsk").
+		I(ebpf.Ldx(ebpf.SizeH, ebpf.R2, ebpf.R6, 12)).
+		Jmp(ebpf.JneImm(ebpf.R2, 0x0800, 0), "toxsk").
+		I(ebpf.Ldx(ebpf.SizeB, ebpf.R2, ebpf.R6, 23)).
+		Jmp(ebpf.JneImm(ebpf.R2, 6, 0), "toxsk"). // TCP
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R2, ebpf.R6, 30)).
+		Jmp(ebpf.JneImm(ebpf.R2, int64(cfg.VIP), 0), "toxsk").
+		I(ebpf.Ldx(ebpf.SizeH, ebpf.R2, ebpf.R6, 36)). // TCP dst port
+		Jmp(ebpf.JneImm(ebpf.R2, int64(cfg.Port), 0), "toxsk").
+		// Pick a backend by hashing the source IP.
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R2, ebpf.R6, 26)).
+		I(ebpf.AndImm(ebpf.R2, cfg.NumMask)).
+		I(ebpf.Stx(ebpf.SizeW, ebpf.R10, -4, ebpf.R2)).
+		I(ebpf.MovImm(ebpf.R1, MapIDLB)).
+		I(ebpf.Mov(ebpf.R2, ebpf.R10)).
+		I(ebpf.AddImm(ebpf.R2, -4)).
+		I(ebpf.Call(ebpf.HelperMapLookup)).
+		Jmp(ebpf.JeqImm(ebpf.R0, 0, 0), "toxsk").
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R3, ebpf.R0, 0)). // backend IP
+		I(ebpf.Stx(ebpf.SizeW, ebpf.R6, 30, ebpf.R3)).
+		I(ebpf.MovImm(ebpf.R1, 0)).
+		I(ebpf.Call(ebpf.HelperCsumReplace)).
+		I(ebpf.MovImm(ebpf.R0, ebpf.XDPTx)).
+		I(ebpf.Exit()).
+		Label("toxsk").
+		I(ebpf.Ldx(ebpf.SizeW, ebpf.R2, ebpf.R9, ebpf.CtxRxQueue)).
+		I(ebpf.MovImm(ebpf.R1, MapIDXsk)).
+		I(ebpf.MovImm(ebpf.R3, ebpf.XDPPass)).
+		I(ebpf.Call(ebpf.HelperRedirectMap)).
+		I(ebpf.Exit())
+	p := a.MustAssemble("l4-load-balancer")
+	p.AttachMap(MapIDLB, cfg.Backends)
+	p.AttachMap(MapIDXsk, cfg.Xsk)
+	return p
+}
+
+// MACKey converts a 6-byte MAC into the 8-byte zero-padded key format the
+// L2-table programs use. The MAC occupies the first 6 bytes in transmission
+// order (the programs load it big-endian from the wire and store it to the
+// little-endian stack, so byte order within the words is swapped: this
+// helper reproduces that layout exactly so control planes can populate the
+// map).
+func MACKey(mac [6]byte) []byte {
+	// The program stores: stxw(stack[-16..-12]) of BE-load pkt[0:4],
+	// then stxh(stack[-12..-10]) of BE-load pkt[4:6]. A BE load followed
+	// by an LE store reverses bytes within each chunk.
+	return []byte{mac[3], mac[2], mac[1], mac[0], mac[5], mac[4], 0, 0}
+}

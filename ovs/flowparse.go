@@ -1,0 +1,504 @@
+package ovs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ovsxdp/internal/conntrack"
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/ofproto"
+	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/tunnel"
+)
+
+// ParseFlow parses an ovs-ofctl-style flow specification into a rule.
+//
+// Matches (comma separated, before "actions="):
+//
+//	table=N priority=N in_port=N dl_src=MAC dl_dst=MAC dl_type=0xNNNN
+//	dl_vlan=N ip tcp udp arp icmp nw_src=a.b.c.d[/len] nw_dst=a.b.c.d[/len]
+//	nw_proto=N tp_src=N tp_dst=N ct_state=+trk+est-new ct_zone=N
+//	ct_mark=N tun_id=N tun_src=IP tun_dst=IP
+//
+// Actions (comma separated after "actions="):
+//
+//	output:N drop goto_table:N meter:N push_vlan:VID pop_vlan
+//	mod_dl_src:MAC mod_dl_dst:MAC dec_ttl
+//	ct(commit,zone=N,table=N[,nat(snat=IP[:port])|nat(dnat=IP[:port])])
+//	set_tunnel(kind=geneve,vni=N,local=IP,remote=IP) tnl_pop:N
+//
+// Example:
+//
+//	"table=0,priority=100,in_port=1,ip,tcp,tp_dst=80,actions=ct(commit,zone=5,table=10)"
+func ParseFlow(spec string) (*ofproto.Rule, error) {
+	matchPart, actionPart, ok := strings.Cut(spec, "actions=")
+	if !ok {
+		return nil, fmt.Errorf("ovs: flow %q has no actions=", spec)
+	}
+	matchPart = strings.TrimSuffix(strings.TrimSpace(matchPart), ",")
+
+	rule := &ofproto.Rule{Priority: 1}
+	var fields flow.Fields
+	mb := flow.NewMaskBuilder()
+	var extraMask flow.Mask
+
+	for _, tok := range splitTop(matchPart) {
+		if tok == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(tok, "=")
+		switch key {
+		case "table":
+			n, err := parseUint(val, 8)
+			if err != nil {
+				return nil, err
+			}
+			rule.TableID = uint8(n)
+		case "priority":
+			n, err := parseUint(val, 16)
+			if err != nil {
+				return nil, err
+			}
+			rule.Priority = int(n)
+		case "cookie":
+			n, err := strconv.ParseUint(strings.TrimPrefix(val, "0x"), 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ovs: bad cookie %q", val)
+			}
+			rule.Cookie = n
+		case "in_port":
+			n, err := parseUint(val, 32)
+			if err != nil {
+				return nil, err
+			}
+			fields.InPort = uint32(n)
+			mb.InPort()
+		case "dl_src":
+			mac, err := parseMAC(val)
+			if err != nil {
+				return nil, err
+			}
+			fields.EthSrc = mac
+			mb.EthSrc()
+		case "dl_dst":
+			mac, err := parseMAC(val)
+			if err != nil {
+				return nil, err
+			}
+			fields.EthDst = mac
+			mb.EthDst()
+		case "dl_type":
+			n, err := strconv.ParseUint(strings.TrimPrefix(val, "0x"), 16, 16)
+			if err != nil {
+				return nil, fmt.Errorf("ovs: bad dl_type %q", val)
+			}
+			fields.EthType = hdr.EtherType(n)
+			mb.EthType()
+		case "dl_vlan":
+			n, err := parseUint(val, 12)
+			if err != nil {
+				return nil, err
+			}
+			fields.VLANTCI = flow.VLANPresent | uint16(n)
+			mb.VLAN()
+		case "ip":
+			fields.EthType = hdr.EtherTypeIPv4
+			mb.EthType()
+		case "arp":
+			fields.EthType = hdr.EtherTypeARP
+			mb.EthType()
+		case "tcp", "udp", "icmp":
+			fields.EthType = hdr.EtherTypeIPv4
+			mb.EthType().IPProto()
+			switch key {
+			case "tcp":
+				fields.IPProto = hdr.IPProtoTCP
+			case "udp":
+				fields.IPProto = hdr.IPProtoUDP
+			case "icmp":
+				fields.IPProto = hdr.IPProtoICMP
+			}
+		case "nw_proto":
+			n, err := parseUint(val, 8)
+			if err != nil {
+				return nil, err
+			}
+			fields.IPProto = hdr.IPProto(n)
+			mb.IPProto()
+		case "nw_src", "nw_dst":
+			ip, plen, err := parseCIDR(val)
+			if err != nil {
+				return nil, err
+			}
+			if key == "nw_src" {
+				fields.IP4Src = ip
+				mb.IP4Src(plen)
+			} else {
+				fields.IP4Dst = ip
+				mb.IP4Dst(plen)
+			}
+		case "nw_ttl":
+			n, err := parseUint(val, 8)
+			if err != nil {
+				return nil, err
+			}
+			fields.IPTTL = uint8(n)
+			mb.IPTTL()
+		case "tp_src":
+			n, err := parseUint(val, 16)
+			if err != nil {
+				return nil, err
+			}
+			fields.TPSrc = uint16(n)
+			mb.TPSrc()
+		case "tp_dst":
+			n, err := parseUint(val, 16)
+			if err != nil {
+				return nil, err
+			}
+			fields.TPDst = uint16(n)
+			mb.TPDst()
+		case "ct_state":
+			state, bits, err := parseCtState(val)
+			if err != nil {
+				return nil, err
+			}
+			fields.CtState = state
+			extraMask = extraMask.Union(flow.NewMaskBuilder().CtState(bits).Build())
+		case "ct_zone":
+			n, err := parseUint(val, 16)
+			if err != nil {
+				return nil, err
+			}
+			fields.CtZone = uint16(n)
+			mb.CtZone()
+		case "ct_mark":
+			n, err := parseUint(val, 32)
+			if err != nil {
+				return nil, err
+			}
+			fields.CtMark = uint32(n)
+			mb.CtMark()
+		case "tun_id":
+			n, err := parseUint(val, 32)
+			if err != nil {
+				return nil, err
+			}
+			fields.TunVNI = uint32(n)
+			mb.TunVNI()
+		case "tun_src":
+			ip, err := parseIP(val)
+			if err != nil {
+				return nil, err
+			}
+			fields.TunSrc = ip
+			mb.TunSrc()
+		case "tun_dst":
+			ip, err := parseIP(val)
+			if err != nil {
+				return nil, err
+			}
+			fields.TunDst = ip
+			mb.TunDst()
+		default:
+			if !hasVal {
+				return nil, fmt.Errorf("ovs: unknown match keyword %q", key)
+			}
+			return nil, fmt.Errorf("ovs: unknown match field %q", key)
+		}
+	}
+	rule.Match = ofproto.NewMatch(fields, mb.Build().Union(extraMask))
+
+	actions, err := parseActions(actionPart)
+	if err != nil {
+		return nil, err
+	}
+	rule.Actions = actions
+	return rule, nil
+}
+
+// parseActions parses the action list.
+func parseActions(s string) ([]ofproto.Action, error) {
+	var out []ofproto.Action
+	for _, tok := range splitTop(strings.TrimSpace(s)) {
+		if tok == "" {
+			continue
+		}
+		switch {
+		case tok == "drop":
+			out = append(out, ofproto.Drop())
+		case tok == "pop_vlan":
+			out = append(out, ofproto.PopVLAN())
+		case tok == "dec_ttl":
+			out = append(out, ofproto.DecTTL())
+		case strings.HasPrefix(tok, "output:"):
+			n, err := parseUint(tok[len("output:"):], 32)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ofproto.Output(uint32(n)))
+		case strings.HasPrefix(tok, "goto_table:"):
+			n, err := parseUint(tok[len("goto_table:"):], 8)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ofproto.GotoTable(uint8(n)))
+		case strings.HasPrefix(tok, "meter:"):
+			n, err := parseUint(tok[len("meter:"):], 32)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ofproto.Meter(uint32(n)))
+		case strings.HasPrefix(tok, "push_vlan:"):
+			n, err := parseUint(tok[len("push_vlan:"):], 12)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ofproto.PushVLAN(uint16(n), 0))
+		case strings.HasPrefix(tok, "mod_dl_src:"):
+			mac, err := parseMAC(tok[len("mod_dl_src:"):])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ofproto.SetEthSrc(mac))
+		case strings.HasPrefix(tok, "mod_dl_dst:"):
+			mac, err := parseMAC(tok[len("mod_dl_dst:"):])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ofproto.SetEthDst(mac))
+		case strings.HasPrefix(tok, "tnl_pop:"):
+			n, err := parseUint(tok[len("tnl_pop:"):], 32)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ofproto.TunnelPop(uint32(n)))
+		case strings.HasPrefix(tok, "ct(") && strings.HasSuffix(tok, ")"):
+			a, err := parseCtAction(tok[3 : len(tok)-1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, a)
+		case strings.HasPrefix(tok, "set_tunnel(") && strings.HasSuffix(tok, ")"):
+			a, err := parseSetTunnel(tok[len("set_tunnel(") : len(tok)-1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, a)
+		default:
+			return nil, fmt.Errorf("ovs: unknown action %q", tok)
+		}
+	}
+	return out, nil
+}
+
+func parseCtAction(body string) (ofproto.Action, error) {
+	a := ofproto.Action{Type: ofproto.ActionCT}
+	for _, part := range splitTop(body) {
+		key, val, _ := strings.Cut(part, "=")
+		switch {
+		case part == "commit":
+			a.Commit = true
+		case key == "zone":
+			n, err := parseUint(val, 16)
+			if err != nil {
+				return a, err
+			}
+			a.Zone = uint16(n)
+		case key == "table":
+			n, err := parseUint(val, 8)
+			if err != nil {
+				return a, err
+			}
+			a.Table = uint8(n)
+		case strings.HasPrefix(part, "nat(") && strings.HasSuffix(part, ")"):
+			nat, err := parseNat(part[4 : len(part)-1])
+			if err != nil {
+				return a, err
+			}
+			a.NAT = nat
+		default:
+			return a, fmt.Errorf("ovs: unknown ct() argument %q", part)
+		}
+	}
+	return a, nil
+}
+
+func parseNat(body string) (conntrack.NAT, error) {
+	var nat conntrack.NAT
+	key, val, ok := strings.Cut(body, "=")
+	if !ok {
+		return nat, fmt.Errorf("ovs: bad nat spec %q", body)
+	}
+	switch key {
+	case "snat":
+		nat.Kind = conntrack.SNAT
+	case "dnat":
+		nat.Kind = conntrack.DNAT
+	default:
+		return nat, fmt.Errorf("ovs: nat kind %q", key)
+	}
+	addr, portStr, hasPort := strings.Cut(val, ":")
+	ip, err := parseIP(addr)
+	if err != nil {
+		return nat, err
+	}
+	nat.Addr = ip
+	if hasPort {
+		n, err := parseUint(portStr, 16)
+		if err != nil {
+			return nat, err
+		}
+		nat.Port = uint16(n)
+	}
+	return nat, nil
+}
+
+func parseSetTunnel(body string) (ofproto.Action, error) {
+	cfg := tunnel.Config{Kind: tunnel.Geneve}
+	for _, part := range splitTop(body) {
+		key, val, _ := strings.Cut(part, "=")
+		switch key {
+		case "kind":
+			switch val {
+			case "geneve":
+				cfg.Kind = tunnel.Geneve
+			case "vxlan":
+				cfg.Kind = tunnel.VXLAN
+			case "gre":
+				cfg.Kind = tunnel.GRE
+			default:
+				return ofproto.Action{}, fmt.Errorf("ovs: tunnel kind %q", val)
+			}
+		case "vni":
+			n, err := parseUint(val, 32)
+			if err != nil {
+				return ofproto.Action{}, err
+			}
+			cfg.VNI = uint32(n)
+		case "local":
+			ip, err := parseIP(val)
+			if err != nil {
+				return ofproto.Action{}, err
+			}
+			cfg.LocalIP = ip
+		case "remote":
+			ip, err := parseIP(val)
+			if err != nil {
+				return ofproto.Action{}, err
+			}
+			cfg.RemoteIP = ip
+		default:
+			return ofproto.Action{}, fmt.Errorf("ovs: unknown set_tunnel argument %q", part)
+		}
+	}
+	return ofproto.SetTunnel(cfg), nil
+}
+
+// parseCtState parses "+trk+est-new" into value and mask bits.
+func parseCtState(s string) (value uint8, bits uint8, err error) {
+	names := map[string]uint8{
+		"trk": 0x01, "new": 0x02, "est": 0x04, "rel": 0x08, "rpl": 0x10, "inv": 0x20,
+	}
+	i := 0
+	for i < len(s) {
+		sign := s[i]
+		if sign != '+' && sign != '-' {
+			return 0, 0, fmt.Errorf("ovs: ct_state must be +flag/-flag sequences, got %q", s)
+		}
+		i++
+		j := i
+		for j < len(s) && s[j] != '+' && s[j] != '-' {
+			j++
+		}
+		bit, ok := names[s[i:j]]
+		if !ok {
+			return 0, 0, fmt.Errorf("ovs: unknown ct_state flag %q", s[i:j])
+		}
+		bits |= bit
+		if sign == '+' {
+			value |= bit
+		}
+		i = j
+	}
+	return value, bits, nil
+}
+
+// splitTop splits on commas not inside parentheses.
+func splitTop(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func parseUint(s string, bits int) (uint64, error) {
+	n, err := strconv.ParseUint(s, 10, bits)
+	if err != nil {
+		return 0, fmt.Errorf("ovs: bad number %q", s)
+	}
+	return n, nil
+}
+
+func parseMAC(s string) (hdr.MAC, error) {
+	var m hdr.MAC
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return m, fmt.Errorf("ovs: bad MAC %q", s)
+	}
+	for i, p := range parts {
+		b, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return m, fmt.Errorf("ovs: bad MAC %q", s)
+		}
+		m[i] = byte(b)
+	}
+	return m, nil
+}
+
+func parseIP(s string) (hdr.IP4, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("ovs: bad IPv4 address %q", s)
+	}
+	var octets [4]byte
+	for i, p := range parts {
+		b, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("ovs: bad IPv4 address %q", s)
+		}
+		octets[i] = byte(b)
+	}
+	return hdr.MakeIP4(octets[0], octets[1], octets[2], octets[3]), nil
+}
+
+func parseCIDR(s string) (hdr.IP4, int, error) {
+	addr, lenStr, hasLen := strings.Cut(s, "/")
+	ip, err := parseIP(addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	plen := 32
+	if hasLen {
+		n, err := parseUint(lenStr, 8)
+		if err != nil || n > 32 {
+			return 0, 0, fmt.Errorf("ovs: bad prefix length %q", lenStr)
+		}
+		plen = int(n)
+	}
+	return ip, plen, nil
+}

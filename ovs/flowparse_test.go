@@ -1,0 +1,169 @@
+package ovs
+
+import (
+	"testing"
+
+	"ovsxdp/internal/conntrack"
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/ofproto"
+	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/tunnel"
+)
+
+func TestParseFlowBasic(t *testing.T) {
+	r, err := ParseFlow("table=3,priority=200,in_port=7,actions=output:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TableID != 3 || r.Priority != 200 {
+		t.Fatalf("header = %+v", r)
+	}
+	if len(r.Actions) != 1 || r.Actions[0].Type != ofproto.ActionOutput || r.Actions[0].Port != 9 {
+		t.Fatalf("actions = %v", r.Actions)
+	}
+	key := (&flow.Fields{InPort: 7, TPDst: 999}).Pack()
+	if !r.Match.Matches(key) {
+		t.Fatal("in_port match must accept the key")
+	}
+	if r.Match.Matches((&flow.Fields{InPort: 8}).Pack()) {
+		t.Fatal("in_port match must reject other ports")
+	}
+}
+
+func TestParseFlowFiveTuple(t *testing.T) {
+	r, err := ParseFlow("ip,tcp,nw_src=10.1.0.0/16,nw_dst=10.2.3.4,tp_dst=443,actions=drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	match := func(src, dst hdr.IP4, dport uint16) bool {
+		return r.Match.Matches((&flow.Fields{
+			EthType: hdr.EtherTypeIPv4, IPProto: hdr.IPProtoTCP,
+			IP4Src: src, IP4Dst: dst, TPDst: dport}).Pack())
+	}
+	if !match(hdr.MakeIP4(10, 1, 99, 99), hdr.MakeIP4(10, 2, 3, 4), 443) {
+		t.Fatal("in-prefix 5-tuple must match")
+	}
+	if match(hdr.MakeIP4(10, 9, 0, 1), hdr.MakeIP4(10, 2, 3, 4), 443) {
+		t.Fatal("out-of-prefix source must not match")
+	}
+	if match(hdr.MakeIP4(10, 1, 0, 1), hdr.MakeIP4(10, 2, 3, 4), 80) {
+		t.Fatal("other port must not match")
+	}
+	if r.Actions[0].Type != ofproto.ActionDrop {
+		t.Fatalf("actions = %v", r.Actions)
+	}
+}
+
+func TestParseFlowCtStateAndAction(t *testing.T) {
+	r, err := ParseFlow("table=10,ct_state=+trk+est-new,ct_zone=9,actions=goto_table:20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := (&flow.Fields{CtState: 0x05, CtZone: 9}).Pack() // trk|est
+	if !r.Match.Matches(est) {
+		t.Fatal("trk+est must match")
+	}
+	newConn := (&flow.Fields{CtState: 0x03, CtZone: 9}).Pack() // trk|new
+	if r.Match.Matches(newConn) {
+		t.Fatal("-new must reject new connections")
+	}
+
+	r2, err := ParseFlow("ip,actions=ct(commit,zone=4,table=11,nat(snat=192.0.2.1:40000))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r2.Actions[0]
+	if a.Type != ofproto.ActionCT || !a.Commit || a.Zone != 4 || a.Table != 11 {
+		t.Fatalf("ct = %+v", a)
+	}
+	if a.NAT.Kind != conntrack.SNAT || a.NAT.Addr != hdr.MakeIP4(192, 0, 2, 1) || a.NAT.Port != 40000 {
+		t.Fatalf("nat = %+v", a.NAT)
+	}
+}
+
+func TestParseFlowTunnelActions(t *testing.T) {
+	r, err := ParseFlow("dl_dst=02:20:00:00:00:01,actions=set_tunnel(kind=geneve,vni=5000,local=172.16.0.1,remote=172.16.0.2),output:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Actions) != 2 {
+		t.Fatalf("actions = %v", r.Actions)
+	}
+	st := r.Actions[0]
+	if st.Type != ofproto.ActionSetTunnel || st.Tunnel.Kind != tunnel.Geneve ||
+		st.Tunnel.VNI != 5000 || st.Tunnel.RemoteIP != hdr.MakeIP4(172, 16, 0, 2) {
+		t.Fatalf("set_tunnel = %+v", st.Tunnel)
+	}
+
+	r2, err := ParseFlow("in_port=1,udp,tp_dst=6081,actions=tnl_pop:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Actions[0].Type != ofproto.ActionTunnelPop || r2.Actions[0].Port != 100 {
+		t.Fatalf("tnl_pop = %+v", r2.Actions[0])
+	}
+}
+
+func TestParseFlowRewriteActions(t *testing.T) {
+	r, err := ParseFlow("ip,actions=mod_dl_dst:02:00:00:00:00:99,dec_ttl,push_vlan:100,output:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ofproto.ActionType{ofproto.ActionSetEthDst, ofproto.ActionDecTTL,
+		ofproto.ActionPushVLAN, ofproto.ActionOutput}
+	if len(r.Actions) != len(want) {
+		t.Fatalf("actions = %v", r.Actions)
+	}
+	for i, w := range want {
+		if r.Actions[i].Type != w {
+			t.Fatalf("action %d = %v, want %v", i, r.Actions[i], w)
+		}
+	}
+	if r.Actions[0].MAC != (hdr.MAC{2, 0, 0, 0, 0, 0x99}) {
+		t.Fatalf("mac = %v", r.Actions[0].MAC)
+	}
+	if r.Actions[2].VLAN != 100 {
+		t.Fatalf("vlan = %d", r.Actions[2].VLAN)
+	}
+}
+
+func TestParseFlowErrors(t *testing.T) {
+	bad := []string{
+		"in_port=1",                             // no actions
+		"in_port=abc,actions=drop",              // bad number
+		"frobnicate=1,actions=drop",             // unknown field
+		"in_port=1,actions=explode",             // unknown action
+		"in_port=1,actions=output:notanum",      // bad action arg
+		"dl_src=zz:00:00:00:00:00,actions=drop", // bad MAC
+		"nw_src=1.2.3,actions=drop",             // bad IP
+		"nw_src=1.2.3.4/99,actions=drop",        // bad prefix
+		"ct_state=trk,actions=drop",             // missing +/-
+		"ct_state=+bogus,actions=drop",          // unknown flag
+		"ip,actions=ct(warp=9)",                 // unknown ct arg
+	}
+	for _, spec := range bad {
+		if _, err := ParseFlow(spec); err == nil {
+			t.Errorf("spec %q must fail to parse", spec)
+		}
+	}
+}
+
+func TestParseFlowMeterAndCookie(t *testing.T) {
+	r, err := ParseFlow("cookie=0xfeed,ip,actions=meter:3,output:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cookie != 0xfeed {
+		t.Fatalf("cookie = %#x", r.Cookie)
+	}
+	if r.Actions[0].Type != ofproto.ActionMeter || r.Actions[0].MeterID != 3 {
+		t.Fatalf("meter = %+v", r.Actions[0])
+	}
+}
+
+func TestSplitTopRespectsParens(t *testing.T) {
+	got := splitTop("a,ct(commit,zone=1),b")
+	if len(got) != 3 || got[1] != "ct(commit,zone=1)" {
+		t.Fatalf("splitTop = %q", got)
+	}
+}
