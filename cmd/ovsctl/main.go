@@ -4,46 +4,101 @@
 // OVSDB and installing flows through OpenFlow, exactly the two protocols
 // the NSX agent drives OVS with (Section 4).
 //
+// The daemon reaches its datapath only through the dpif provider layer, so
+// every subcommand works identically against the userspace ("netdev"),
+// kernel-module ("netlink"), and eBPF ("ebpf") datapaths.
+//
 // Usage:
 //
-//	ovsctl demo
+//	ovsctl [-datapath netdev|netlink|ebpf] demo
+//	ovsctl [-datapath ...] show         # bridge/port summary (ovs-vsctl show)
+//	ovsctl [-datapath ...] dump-flows   # installed megaflows (dpctl/dump-flows)
+//	ovsctl [-datapath ...] dpctl-stats  # datapath counters (ovs-dpctl show)
 package main
 
 import (
+	"flag"
 	"fmt"
 	"net"
 	"os"
+	"sort"
 
 	"ovsxdp/internal/core"
+	"ovsxdp/internal/dpif"
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/nicsim"
 	"ovsxdp/internal/ofproto"
 	"ovsxdp/internal/openflow"
 	"ovsxdp/internal/ovsdb"
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/packet/hdr"
 	"ovsxdp/internal/sim"
 	"ovsxdp/internal/vdev"
 	"ovsxdp/internal/vswitchd"
 )
 
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: ovsctl [-datapath %v] demo|show|dump-flows|dpctl-stats\n",
+		dpif.Types())
+}
+
 func main() {
-	if len(os.Args) < 2 || os.Args[1] != "demo" {
-		fmt.Fprintln(os.Stderr, "usage: ovsctl demo")
+	dpType := flag.String("datapath", "netdev", "dpif provider type")
+	flag.Usage = usage
+	flag.Parse()
+
+	var err error
+	switch flag.Arg(0) {
+	case "demo":
+		err = demo(*dpType)
+	case "show":
+		err = show(*dpType)
+	case "dump-flows":
+		err = dumpFlows(*dpType)
+	case "dpctl-stats":
+		err = dpctlStats(*dpType)
+	default:
+		usage()
 		os.Exit(2)
 	}
-	if err := demo(); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ovsctl:", err)
 		os.Exit(1)
 	}
 }
 
-func demo() error {
-	// --- the switch side ---------------------------------------------------
+// env is the in-process switch: engine, datapath (via the dpif registry),
+// database, and daemon.
+type env struct {
+	eng    *sim.Engine
+	dp     dpif.Dpif
+	db     *ovsdb.Server
+	daemon *vswitchd.VSwitchd
+}
+
+func newEnv(dpType string) (*env, error) {
 	eng := sim.NewEngine(1)
-	dp := core.NewDatapath(eng, ofproto.NewPipeline(), core.DefaultOptions())
+	pl := ofproto.NewPipeline()
+	d, err := dpif.Open(dpType, dpif.Config{Eng: eng, Pipeline: pl})
+	if err != nil {
+		return nil, err
+	}
 	db := ovsdb.NewServer()
-	daemon := vswitchd.New(db, dp)
-	daemon.Factory = func(ifType, name string, options map[string]string) (core.Port, error) {
+	daemon := vswitchd.New(db, pl, d)
+	daemon.Factory = portFactory(eng, d, daemon)
+	return &env{eng: eng, dp: d, db: db, daemon: daemon}, nil
+}
+
+// portFactory builds datapath ports for Interface rows. The userspace
+// datapath gets real simulated devices (AF_XDP NICs, taps); the kernel
+// datapaths attach vports, modeled as transmit functions.
+func portFactory(eng *sim.Engine, d dpif.Dpif, daemon *vswitchd.VSwitchd) vswitchd.PortFactory {
+	return func(ifType, name string, options map[string]string) (dpif.Port, error) {
 		id := daemon.NextPortID()
+		if d.Type() != "netdev" {
+			return dpif.TxPort{PortID: id, PortName: name,
+				Deliver: func(*packet.Packet) {}}, nil
+		}
 		switch ifType {
 		case "afxdp":
 			nic := nicsim.New(eng, nicsim.Config{Name: name, Ifindex: id, Queues: 1})
@@ -57,18 +112,133 @@ func demo() error {
 			return nil, fmt.Errorf("unsupported interface type %q", ifType)
 		}
 	}
+}
 
-	dbAddr, err := db.ListenAndServe("127.0.0.1:0")
+// configure creates the canonical demo topology through OVSDB: bridge
+// br-int with an AF_XDP uplink (port 1) and a tap (port 2), then installs
+// the port 1 -> port 2 rule.
+func (e *env) configure() error {
+	e.db.Transact([]ovsdb.Op{
+		{Op: "insert", Table: ovsdb.TableBridge, Row: ovsdb.Row{"name": "br-int"}},
+		{Op: "insert", Table: ovsdb.TableInterface,
+			Row: ovsdb.Row{"name": "p0", "type": "afxdp", "bridge": "br-int"}},
+		{Op: "insert", Table: ovsdb.TableInterface,
+			Row: ovsdb.Row{"name": "p1", "type": "tap", "bridge": "br-int"}},
+	})
+	if e.dp.PortCount() != 2 {
+		return fmt.Errorf("expected 2 datapath ports, have %d", e.dp.PortCount())
+	}
+	e.daemon.ApplyFlowMod(openflow.FlowMod{
+		Command: openflow.FlowModAdd, TableID: 0, Priority: 10,
+		Match: ofproto.NewMatch(flow.Fields{InPort: 1},
+			flow.NewMaskBuilder().InPort().Build()),
+		Actions: []ofproto.Action{ofproto.Output(2)},
+	})
+	return nil
+}
+
+// inject pushes n copies of one UDP flow into port 1 through the dpif
+// Execute path (the dpctl-style packet injection) and runs the engine.
+func (e *env) inject(n int) {
+	frame := hdr.NewBuilder().
+		Eth(hdr.MAC{0x02, 0xaa, 0, 0, 0, 1}, hdr.MAC{0x02, 0xbb, 0, 0, 0, 1}).
+		IPv4H(hdr.MakeIP4(10, 0, 0, 1), hdr.MakeIP4(10, 0, 0, 2), 64).
+		UDPH(1000, 2000).PadTo(64).Build()
+	for i := 0; i < n; i++ {
+		p := packet.New(frame)
+		p.InPort = 1
+		e.dp.Execute(p)
+	}
+	e.eng.RunUntil(e.eng.Now() + sim.Millisecond)
+}
+
+// show prints the ovs-vsctl show analog: bridges, their ports, and the
+// datapath type behind them.
+func show(dpType string) error {
+	e, err := newEnv(dpType)
 	if err != nil {
 		return err
 	}
-	defer db.Close()
-	ofAddr, err := daemon.ServeOpenFlow("127.0.0.1:0")
+	if err := e.configure(); err != nil {
+		return err
+	}
+	for _, name := range e.daemon.Bridges() {
+		b, _ := e.daemon.Bridge(name)
+		fmt.Printf("bridge %s\n", name)
+		fmt.Printf("    datapath type: %s\n", e.dp.Type())
+		ports := make([]string, 0, len(b.Ports))
+		for p := range b.Ports {
+			ports = append(ports, p)
+		}
+		sort.Strings(ports)
+		for _, p := range ports {
+			fmt.Printf("    port %s: id %d\n", p, b.Ports[p])
+		}
+	}
+	return nil
+}
+
+// dumpFlows prints the installed megaflows after injecting traffic — the
+// ovs-appctl dpctl/dump-flows analog.
+func dumpFlows(dpType string) error {
+	e, err := newEnv(dpType)
 	if err != nil {
 		return err
 	}
-	defer daemon.Close()
-	fmt.Printf("vswitchd up: ovsdb %s, openflow %s\n\n", dbAddr, ofAddr)
+	if err := e.configure(); err != nil {
+		return err
+	}
+	e.inject(8)
+	flows := e.dp.FlowDump()
+	fmt.Printf("%d flow(s) in datapath %s:\n", len(flows), e.dp.Type())
+	lines := make([]string, 0, len(flows))
+	for _, f := range flows {
+		lines = append(lines, f.Entry.String())
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+	return nil
+}
+
+// dpctlStats prints the unified datapath counters — the ovs-dpctl show
+// analog (lookups hit/missed/lost plus the megaflow count).
+func dpctlStats(dpType string) error {
+	e, err := newEnv(dpType)
+	if err != nil {
+		return err
+	}
+	if err := e.configure(); err != nil {
+		return err
+	}
+	e.inject(8)
+	st := e.dp.Stats()
+	fmt.Printf("%s@br-int:\n", e.dp.Type())
+	fmt.Printf("  lookups: hit:%d missed:%d lost:%d\n", st.Hits, st.Missed, st.Lost)
+	fmt.Printf("  flows: %d\n", st.Flows)
+	fmt.Printf("  ports: %d\n", e.dp.PortCount())
+	return nil
+}
+
+func demo(dpType string) error {
+	// --- the switch side ---------------------------------------------------
+	e, err := newEnv(dpType)
+	if err != nil {
+		return err
+	}
+	dbAddr, err := e.db.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer e.db.Close()
+	ofAddr, err := e.daemon.ServeOpenFlow("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer e.daemon.Close()
+	fmt.Printf("vswitchd up (datapath %s): ovsdb %s, openflow %s\n\n",
+		e.dp.Type(), dbAddr, ofAddr)
 
 	// --- the management client over OVSDB ----------------------------------
 	client, err := ovsdb.Dial(dbAddr)
@@ -139,6 +309,6 @@ func demo() error {
 	}
 
 	fmt.Printf("\npipeline now holds %d rule(s); bridge %v has %d port(s)\n",
-		daemon.Pipeline.RuleCount(), daemon.Bridges(), dp.Ports())
+		e.daemon.Pipeline.RuleCount(), e.daemon.Bridges(), e.dp.PortCount())
 	return nil
 }

@@ -93,6 +93,10 @@ type Datapath struct {
 	// contention model.
 	activePMDs int
 
+	// upcall, when set, replaces Pipeline.Translate as the slow-path
+	// handler (dpif upcall registration).
+	upcall func(flow.Key) (ofproto.Megaflow, error)
+
 	// Stats.
 	Processed      uint64
 	EMCHits        uint64
@@ -137,6 +141,42 @@ func (d *Datapath) FlushFlows() {
 		m.emc.Flush()
 		m.cls.Flush()
 	}
+}
+
+// FlowCount reports megaflows across all PMDs (diagnostics).
+func (d *Datapath) FlowCount() int {
+	n := 0
+	for _, m := range d.pmds {
+		n += m.cls.Len()
+	}
+	return n
+}
+
+// PMDs returns the datapath's packet-processing threads (dpif flow dumps,
+// diagnostics).
+func (d *Datapath) PMDs() []*PMD { return d.pmds }
+
+// SetUpcall registers the slow-path handler consulted on classifier misses
+// in place of the pipeline's translator (dpif upcall registration).
+func (d *Datapath) SetUpcall(fn func(flow.Key) (ofproto.Megaflow, error)) { d.upcall = fn }
+
+// translate resolves a missed key through the registered upcall handler,
+// defaulting to the pipeline.
+func (d *Datapath) translate(key flow.Key) (ofproto.Megaflow, error) {
+	if d.upcall != nil {
+		return d.upcall(key)
+	}
+	return d.Pipeline.Translate(key)
+}
+
+// Execute runs one packet through the fast path as if it had arrived on
+// p.InPort, on the first PMD (creating an unstarted one when the datapath
+// has no threads yet) — the dpif execute analog.
+func (d *Datapath) Execute(p *packet.Packet) {
+	if len(d.pmds) == 0 {
+		d.NewPMD(ModeNonPMD, nil)
+	}
+	d.processOne(d.pmds[0], p, 0)
 }
 
 const maxRecircDepth = 8
@@ -196,7 +236,7 @@ func (d *Datapath) processOne(m *PMD, p *packet.Packet, depth int) {
 			// Upcall: inline slow-path translation on this PMD.
 			d.Upcalls++
 			cpu.Consume(sim.User, costmodel.UpcallCost)
-			mf, err := d.Pipeline.Translate(key)
+			mf, err := d.translate(key)
 			if err != nil {
 				d.UpcallErrors++
 				d.Drops++

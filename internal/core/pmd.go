@@ -103,6 +103,10 @@ func (m *PMD) EMCStats() (hits, misses uint64) { return m.emc.Hits, m.emc.Misses
 // Classifier exposes the megaflow classifier (tests, flow dumping).
 func (m *PMD) Classifier() *dpcls.Classifier { return m.cls }
 
+// FlushEMC drops the thread's exact-match cache; stale entries rebuild from
+// the classifier on the next packets (megaflow eviction).
+func (m *PMD) FlushEMC() { m.emc.Flush() }
+
 // Start launches the thread's loop.
 func (m *PMD) Start() {
 	m.stopped = false

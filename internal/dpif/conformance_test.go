@@ -1,0 +1,193 @@
+package dpif_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ovsxdp/internal/dpif"
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/ofproto"
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/sim"
+)
+
+// observation is everything a dpif consumer can see from one scenario run.
+// The conformance suite runs the identical scenario against every
+// registered provider and requires the observations to be deeply equal —
+// the guarantee that lets vswitchd, the revalidator, and ovsctl treat the
+// three datapaths interchangeably.
+type observation struct {
+	Type string // filled per-provider, compared against the registry key
+
+	AfterWarm   dpif.Stats // after 8 packets of one flow
+	Delivered   uint64
+	Upcalls     uint64 // slow-path invocations seen by the upcall hook
+	DumpedFlows int
+
+	DelRemoved   bool
+	AfterDel     int // flows after deleting the dumped entry
+	AfterReExec  dpif.Stats
+	AfterFlush   int
+	AfterPut     dpif.Stats // FlowPut then one packet: hit without upcall
+	PortDelErr   bool       // second PortDel of the same id must fail
+	AfterPortDel dpif.Stats // packet executed with output port gone
+	FinalPorts   int
+}
+
+func scenarioPacket() *packet.Packet {
+	frame := hdr.NewBuilder().
+		Eth(hdr.MAC{0x02, 0xaa, 0, 0, 0, 1}, hdr.MAC{0x02, 0xbb, 0, 0, 0, 1}).
+		IPv4H(hdr.MakeIP4(10, 0, 0, 1), hdr.MakeIP4(10, 0, 0, 2), 64).
+		UDPH(1000, 2000).PadTo(64).Build()
+	p := packet.New(frame)
+	p.InPort = 1
+	return p
+}
+
+func forwardPipeline() *ofproto.Pipeline {
+	pl := ofproto.NewPipeline()
+	pl.AddRule(&ofproto.Rule{TableID: 0, Priority: 1,
+		Match: ofproto.NewMatch(flow.Fields{InPort: 1},
+			flow.NewMaskBuilder().InPort().Build()),
+		Actions: []ofproto.Action{ofproto.Output(2)}})
+	return pl
+}
+
+// runScenario drives one provider through the shared port/flow/upcall/stats
+// scenario.
+func runScenario(t *testing.T, name string) observation {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	pl := forwardPipeline()
+	d, err := dpif.Open(name, dpif.Config{Eng: eng, Pipeline: pl})
+	if err != nil {
+		t.Fatalf("Open(%q): %v", name, err)
+	}
+	var obs observation
+	obs.Type = d.Type()
+
+	// Upcall hook: count slow-path translations, delegating to the pipeline.
+	d.SetUpcall(func(key flow.Key) (ofproto.Megaflow, error) {
+		obs.Upcalls++
+		return pl.Translate(key)
+	})
+
+	// Ports: 1 is the ingress identity, 2 counts deliveries.
+	if err := d.PortAdd(dpif.TxPort{PortID: 1, PortName: "p0",
+		Deliver: func(*packet.Packet) {}}); err != nil {
+		t.Fatalf("%s: PortAdd(1): %v", name, err)
+	}
+	if err := d.PortAdd(dpif.TxPort{PortID: 2, PortName: "p1",
+		Deliver: func(*packet.Packet) { obs.Delivered++ }}); err != nil {
+		t.Fatalf("%s: PortAdd(2): %v", name, err)
+	}
+	if n := d.PortCount(); n != 2 {
+		t.Fatalf("%s: PortCount = %d, want 2", name, n)
+	}
+
+	run := func() { eng.RunUntil(eng.Now() + sim.Millisecond) }
+
+	// Phase 1: 8 packets of one flow — first misses, rest hit the cache.
+	for i := 0; i < 8; i++ {
+		d.Execute(scenarioPacket())
+	}
+	run()
+	obs.AfterWarm = d.Stats()
+
+	// Phase 2: dump, delete the installed flow, re-execute (fresh upcall).
+	flows := d.FlowDump()
+	obs.DumpedFlows = len(flows)
+	if len(flows) > 0 {
+		obs.DelRemoved = d.FlowDel(flows[0])
+	}
+	obs.AfterDel = len(d.FlowDump())
+	d.Execute(scenarioPacket())
+	run()
+	obs.AfterReExec = d.Stats()
+
+	// Phase 3: flush everything, then pre-install via FlowPut — the next
+	// packet must hit without consulting the upcall.
+	d.FlowFlush()
+	obs.AfterFlush = len(d.FlowDump())
+	key := flow.Extract(scenarioPacket())
+	mf, err := pl.Translate(key)
+	if err != nil {
+		t.Fatalf("%s: Translate: %v", name, err)
+	}
+	upcallsBefore := obs.Upcalls
+	d.FlowPut(key, mf.Mask, mf.Actions)
+	d.Execute(scenarioPacket())
+	run()
+	if obs.Upcalls != upcallsBefore {
+		t.Errorf("%s: packet after FlowPut took an upcall", name)
+	}
+	obs.AfterPut = d.Stats()
+
+	// Phase 4: drop the output port; traffic for it is lost, and deleting
+	// the port twice is an error.
+	if err := d.PortDel(2); err != nil {
+		t.Fatalf("%s: PortDel(2): %v", name, err)
+	}
+	obs.PortDelErr = d.PortDel(2) != nil
+	d.FlowFlush() // cached actions may hold the dead port's deliver fn
+	d.Execute(scenarioPacket())
+	run()
+	obs.AfterPortDel = d.Stats()
+	obs.FinalPorts = d.PortCount()
+	return obs
+}
+
+// TestConformance runs the same scenario against every registered provider
+// and requires identical observable behaviour.
+func TestConformance(t *testing.T) {
+	types := dpif.Types()
+	if len(types) != 3 {
+		t.Fatalf("registry has %v, want 3 providers", types)
+	}
+	obs := make(map[string]observation, len(types))
+	for _, name := range types {
+		o := runScenario(t, name)
+		if o.Type != name {
+			t.Errorf("Open(%q).Type() = %q", name, o.Type)
+		}
+		o.Type = "" // normalized away for the cross-provider comparison
+		obs[name] = o
+	}
+
+	// Spot-check the absolute numbers once (they are provider-independent).
+	ref := obs["netdev"]
+	if want := (dpif.Stats{Hits: 7, Missed: 1, Lost: 0, Flows: 1}); ref.AfterWarm != want {
+		t.Errorf("netdev AfterWarm = %+v, want %+v", ref.AfterWarm, want)
+	}
+	// 10 = 8 warm + 1 after FlowDel + 1 after FlowPut (the port-del packet
+	// is lost, not delivered).
+	if ref.Delivered != 10 || !ref.DelRemoved || ref.AfterDel != 0 || ref.AfterFlush != 0 {
+		t.Errorf("netdev scenario: delivered=%d delRemoved=%v afterDel=%d afterFlush=%d",
+			ref.Delivered, ref.DelRemoved, ref.AfterDel, ref.AfterFlush)
+	}
+	if ref.AfterPortDel.Lost == 0 {
+		t.Errorf("netdev: packet to deleted port not counted as lost: %+v", ref.AfterPortDel)
+	}
+
+	for _, name := range types {
+		if !reflect.DeepEqual(obs[name], ref) {
+			t.Errorf("provider %q diverges from netdev:\n  %q: %+v\n  netdev: %+v",
+				name, name, obs[name], ref)
+		}
+	}
+}
+
+// TestRegistry covers the registry itself: unknown types fail, duplicate
+// registration panics.
+func TestRegistry(t *testing.T) {
+	if _, err := dpif.Open("nosuch", dpif.Config{}); err == nil {
+		t.Fatal("Open of unregistered type succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	dpif.Register("netdev", nil)
+}

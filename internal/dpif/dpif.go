@@ -1,0 +1,116 @@
+// Package dpif is the datapath-provider seam: the analog of OVS's dpif
+// layer, through which ovs-vswitchd drives every datapath implementation
+// (dpif-netdev for userspace/AF_XDP, dpif-netlink for the kernel module and
+// its eBPF re-implementation) without knowing which one it is talking to.
+// This seam is what let the paper swap datapaths under an unchanged control
+// plane (Tables 2/4, Figures 8-12); here it lets vswitchd, the experiment
+// testbeds, and ovsctl select a datapath by registry name.
+//
+// Providers register themselves under a type name ("netdev", "netlink",
+// "ebpf") and are opened via Open. The interface covers port management,
+// direct flow manipulation (put/del/dump/flush), packet execution, upcall
+// registration, and the hit/missed/lost/flows statistics `ovs-dpctl show`
+// reports.
+package dpif
+
+import (
+	"ovsxdp/internal/dpcls"
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/ofproto"
+	"ovsxdp/internal/packet"
+)
+
+// Port is the dpif view of a datapath port: enough identity for the
+// control plane to attach, detach, and name it. Concrete providers accept
+// richer implementations (core.Port for netdev, TxPort everywhere).
+type Port interface {
+	ID() uint32
+	Name() string
+}
+
+// TxPort is a provider-independent output-only port: packets the datapath
+// sends to it are handed to Deliver. The netlink provider uses it as its
+// native port type (the kernel datapath's output vports are transmit
+// functions); the netdev provider wraps it into a core.Port. It is what
+// testbeds and the conformance suite use to observe delivery identically
+// across providers.
+type TxPort struct {
+	PortID   uint32
+	PortName string
+	Deliver  func(*packet.Packet)
+}
+
+// ID implements Port.
+func (p TxPort) ID() uint32 { return p.PortID }
+
+// Name implements Port.
+func (p TxPort) Name() string { return p.PortName }
+
+// UpcallFunc translates a missed flow key into a megaflow. Its signature
+// matches ofproto's (*Pipeline).Translate, so the pipeline's translator can
+// be registered directly; wrappers can count or veto upcalls.
+type UpcallFunc func(key flow.Key) (ofproto.Megaflow, error)
+
+// Flow is one installed datapath megaflow as returned by FlowDump. Entry is
+// the live classifier entry (its hit counter updates in place); the owner
+// token identifies the classifier shard holding it, so FlowDel can target
+// the right shard (per-PMD classifiers for netdev, the single kernel table
+// for netlink).
+type Flow struct {
+	Entry *dpcls.Entry
+	owner any
+}
+
+// Stats is the unified datapath statistics block, the numbers `ovs-dpctl
+// show` prints: cache hits, misses that upcalled to the slow path, packets
+// lost (dropped) in the datapath, and the installed megaflow count.
+type Stats struct {
+	Hits   uint64
+	Missed uint64
+	Lost   uint64
+	Flows  int
+}
+
+// Dpif is one open datapath. All providers implement identical observable
+// semantics (the conformance suite in this package enforces it); they
+// differ only in where the work happens and what it costs.
+type Dpif interface {
+	// Type returns the registry type name ("netdev", "netlink", "ebpf").
+	Type() string
+
+	// PortAdd attaches a port. Providers reject port kinds they cannot
+	// drive (the netlink provider needs a transmit function; netdev needs
+	// a core.Port or a TxPort to wrap).
+	PortAdd(p Port) error
+	// PortDel detaches the port with the given datapath port number.
+	PortDel(id uint32) error
+	// PortCount returns the number of attached ports.
+	PortCount() int
+
+	// FlowPut installs a datapath flow directly, bypassing the upcall
+	// path (ovs-dpctl add-flow). Providers apply their own installation
+	// discipline: the ebpf flavor narrows every mask to exact-match.
+	FlowPut(key flow.Key, mask flow.Mask, actions any)
+	// FlowDel removes a previously dumped flow, reporting whether it was
+	// still installed.
+	FlowDel(f Flow) bool
+	// FlowDump snapshots the installed megaflows across all classifier
+	// shards.
+	FlowDump() []Flow
+	// FlowFlush drops every installed flow (revalidation after rule
+	// changes, daemon restart).
+	FlowFlush()
+
+	// Execute runs one packet through the datapath fast path, exactly as
+	// if it had arrived on p.InPort (ovs-dpctl execute; also the
+	// conformance suite's packet driver).
+	Execute(p *packet.Packet)
+
+	// SetUpcall registers the slow-path handler consulted on flow-table
+	// misses. When never called, the provider translates against the
+	// pipeline it was opened with.
+	SetUpcall(fn UpcallFunc)
+
+	// Stats reports the unified datapath counters.
+	Stats() Stats
+}

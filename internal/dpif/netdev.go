@@ -1,0 +1,138 @@
+package dpif
+
+import (
+	"fmt"
+
+	"ovsxdp/internal/core"
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/sim"
+)
+
+// Netdev adapts the userspace datapath (core.Datapath: PMD threads, EMC,
+// per-PMD megaflow classifiers, AF_XDP/DPDK/vhost/tap ports) to the dpif
+// interface — the dpif-netdev analog.
+type Netdev struct {
+	dp *core.Datapath
+}
+
+func init() {
+	Register("netdev", func(cfg Config) (Dpif, error) {
+		opts, ok := cfg.Options.(core.Options)
+		if !ok {
+			opts = core.DefaultOptions()
+		}
+		return NewNetdev(core.NewDatapath(cfg.Eng, cfg.Pipeline, opts)), nil
+	})
+}
+
+// NewNetdev wraps an existing userspace datapath.
+func NewNetdev(dp *core.Datapath) *Netdev { return &Netdev{dp: dp} }
+
+// Datapath exposes the wrapped userspace datapath for wiring that the dpif
+// seam does not cover (experiment-specific port internals).
+func (d *Netdev) Datapath() *core.Datapath { return d.dp }
+
+// NewPMD adds a poll-mode thread to the datapath on its own CPU.
+func (d *Netdev) NewPMD(mode core.Mode) *core.PMD { return d.dp.NewPMD(mode, nil) }
+
+// Type implements Dpif.
+func (d *Netdev) Type() string { return "netdev" }
+
+// PortAdd implements Dpif: core ports attach directly; TxPorts are wrapped
+// into an output-only core port.
+func (d *Netdev) PortAdd(p Port) error {
+	switch port := p.(type) {
+	case core.Port:
+		d.dp.AddPort(port)
+	case TxPort:
+		d.dp.AddPort(&txPortAdapter{tp: port})
+	default:
+		return fmt.Errorf("dpif-netdev: unsupported port kind %T for %q", p, p.Name())
+	}
+	return nil
+}
+
+// PortDel implements Dpif.
+func (d *Netdev) PortDel(id uint32) error {
+	if d.dp.Port(id) == nil {
+		return fmt.Errorf("dpif-netdev: no port %d", id)
+	}
+	d.dp.RemovePort(id)
+	return nil
+}
+
+// PortCount implements Dpif.
+func (d *Netdev) PortCount() int { return d.dp.Ports() }
+
+// FlowPut implements Dpif: the flow is installed into every PMD's
+// classifier, as dpif-netdev replicates flows across the threads that may
+// see the traffic. A thread is created if none exists yet.
+func (d *Netdev) FlowPut(key flow.Key, mask flow.Mask, actions any) {
+	d.ensurePMD()
+	for _, m := range d.dp.PMDs() {
+		m.Classifier().Insert(key, mask, actions)
+	}
+}
+
+// FlowDel implements Dpif: the owning PMD's classifier drops the entry and
+// its EMC is flushed so stale cache entries die with it.
+func (d *Netdev) FlowDel(f Flow) bool {
+	m, ok := f.owner.(*core.PMD)
+	if !ok {
+		return false
+	}
+	removed := m.Classifier().Remove(f.Entry)
+	m.FlushEMC()
+	return removed
+}
+
+// FlowDump implements Dpif.
+func (d *Netdev) FlowDump() []Flow {
+	var out []Flow
+	for _, m := range d.dp.PMDs() {
+		for _, e := range m.Classifier().Entries() {
+			out = append(out, Flow{Entry: e, owner: m})
+		}
+	}
+	return out
+}
+
+// FlowFlush implements Dpif.
+func (d *Netdev) FlowFlush() { d.dp.FlushFlows() }
+
+// Execute implements Dpif.
+func (d *Netdev) Execute(p *packet.Packet) { d.dp.Execute(p) }
+
+// SetUpcall implements Dpif.
+func (d *Netdev) SetUpcall(fn UpcallFunc) { d.dp.SetUpcall(fn) }
+
+// Stats implements Dpif: hits combine the EMC and megaflow levels, exactly
+// the two caches a packet can shortcut through.
+func (d *Netdev) Stats() Stats {
+	return Stats{
+		Hits:   d.dp.EMCHits + d.dp.MegaflowHits,
+		Missed: d.dp.Upcalls,
+		Lost:   d.dp.Drops,
+		Flows:  d.dp.FlowCount(),
+	}
+}
+
+func (d *Netdev) ensurePMD() {
+	if len(d.dp.PMDs()) == 0 {
+		d.dp.NewPMD(core.ModeNonPMD, nil)
+	}
+}
+
+// txPortAdapter presents a TxPort as an output-only core.Port.
+type txPortAdapter struct {
+	tp TxPort
+}
+
+func (a *txPortAdapter) ID() uint32                             { return a.tp.PortID }
+func (a *txPortAdapter) Name() string                           { return a.tp.PortName }
+func (a *txPortAdapter) NumRxQueues() int                       { return 0 }
+func (a *txPortAdapter) Rx(*sim.CPU, int, int) []*packet.Packet { return nil }
+func (a *txPortAdapter) Tx(_ *sim.CPU, _ int, p *packet.Packet) { a.tp.Deliver(p) }
+func (a *txPortAdapter) Flush(*sim.CPU, int)                    {}
+func (a *txPortAdapter) Arm(int, func())                        {}

@@ -1,0 +1,131 @@
+package dpif
+
+import (
+	"fmt"
+
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/kernelsim"
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/sim"
+)
+
+// Netlink adapts the in-kernel datapath (kernelsim.Datapath) to the dpif
+// interface — the dpif-netlink analog. It backs two registry types: the
+// traditional kernel module ("netlink", FlavorModule) and the sandboxed
+// eBPF re-implementation ("ebpf", FlavorEBPF).
+type Netlink struct {
+	kdp *kernelsim.Datapath
+	eng *sim.Engine
+
+	// names keeps port names for the control plane; the kernel datapath
+	// itself only knows transmit functions.
+	names map[uint32]string
+
+	// execCPU is the lazily created CPU Execute charges softirq work to
+	// (the dpctl-execute injection context).
+	execCPU *sim.CPU
+}
+
+func init() {
+	Register("netlink", netlinkFactory(kernelsim.FlavorModule))
+	Register("ebpf", netlinkFactory(kernelsim.FlavorEBPF))
+}
+
+func netlinkFactory(flavor kernelsim.Flavor) Factory {
+	return func(cfg Config) (Dpif, error) {
+		return NewNetlink(cfg.Eng, kernelsim.NewDatapath(cfg.Eng, flavor, cfg.Pipeline)), nil
+	}
+}
+
+// NewNetlink wraps an existing kernel datapath.
+func NewNetlink(eng *sim.Engine, kdp *kernelsim.Datapath) *Netlink {
+	return &Netlink{kdp: kdp, eng: eng, names: make(map[uint32]string)}
+}
+
+// Kernel exposes the wrapped kernel datapath for wiring that the dpif seam
+// does not cover (NAPI actor handlers, experiment internals).
+func (d *Netlink) Kernel() *kernelsim.Datapath { return d.kdp }
+
+// Process feeds one packet to the datapath in softirq context on cpu — the
+// handler NAPI actors drive.
+func (d *Netlink) Process(cpu *sim.CPU, p *packet.Packet) { d.kdp.Process(cpu, p) }
+
+// SetActiveCPUs installs the softirq fan-out probe feeding the
+// SMT-contention model.
+func (d *Netlink) SetActiveCPUs(fn func() int) { d.kdp.ActiveCPUs = fn }
+
+// Type implements Dpif.
+func (d *Netlink) Type() string {
+	if d.kdp.Flavor == kernelsim.FlavorEBPF {
+		return "ebpf"
+	}
+	return "netlink"
+}
+
+// PortAdd implements Dpif: the kernel datapath's ports are transmit
+// functions (vport output handlers), so only TxPorts attach.
+func (d *Netlink) PortAdd(p Port) error {
+	tp, ok := p.(TxPort)
+	if !ok {
+		return fmt.Errorf("dpif-%s: unsupported port kind %T for %q (need TxPort)", d.Type(), p, p.Name())
+	}
+	d.kdp.Outputs[tp.PortID] = tp.Deliver
+	d.names[tp.PortID] = tp.PortName
+	return nil
+}
+
+// PortDel implements Dpif.
+func (d *Netlink) PortDel(id uint32) error {
+	if _, ok := d.kdp.Outputs[id]; !ok {
+		return fmt.Errorf("dpif-%s: no port %d", d.Type(), id)
+	}
+	delete(d.kdp.Outputs, id)
+	delete(d.names, id)
+	return nil
+}
+
+// PortCount implements Dpif.
+func (d *Netlink) PortCount() int { return len(d.kdp.Outputs) }
+
+// FlowPut implements Dpif.
+func (d *Netlink) FlowPut(key flow.Key, mask flow.Mask, actions any) {
+	d.kdp.InstallFlow(key, mask, actions)
+}
+
+// FlowDel implements Dpif.
+func (d *Netlink) FlowDel(f Flow) bool { return d.kdp.RemoveFlow(f.Entry) }
+
+// FlowDump implements Dpif.
+func (d *Netlink) FlowDump() []Flow {
+	entries := d.kdp.Flows()
+	out := make([]Flow, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, Flow{Entry: e, owner: d})
+	}
+	return out
+}
+
+// FlowFlush implements Dpif.
+func (d *Netlink) FlowFlush() { d.kdp.FlushFlows() }
+
+// Execute implements Dpif: the packet runs in softirq context on a
+// dedicated injection CPU.
+func (d *Netlink) Execute(p *packet.Packet) {
+	if d.execCPU == nil {
+		d.execCPU = d.eng.NewCPU("dpif-exec")
+	}
+	d.kdp.Process(d.execCPU, p)
+}
+
+// SetUpcall implements Dpif.
+func (d *Netlink) SetUpcall(fn UpcallFunc) { d.kdp.SetUpcall(fn) }
+
+// Stats implements Dpif.
+func (d *Netlink) Stats() Stats {
+	return Stats{
+		Hits:   d.kdp.Hits,
+		Missed: d.kdp.Misses,
+		Lost:   d.kdp.Drops,
+		Flows:  d.kdp.FlowCount(),
+	}
+}

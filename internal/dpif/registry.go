@@ -1,0 +1,52 @@
+package dpif
+
+import (
+	"fmt"
+	"sort"
+
+	"ovsxdp/internal/ofproto"
+	"ovsxdp/internal/sim"
+)
+
+// Config parameterizes Open. Options carries provider-specific tunables
+// (core.Options for the netdev provider); providers that take none ignore
+// it.
+type Config struct {
+	Eng      *sim.Engine
+	Pipeline *ofproto.Pipeline
+	Options  any
+}
+
+// Factory builds one provider instance.
+type Factory func(cfg Config) (Dpif, error)
+
+var registry = map[string]Factory{}
+
+// Register adds a provider under a type name. Providers register themselves
+// from init; registering a duplicate name panics, as it can only be a
+// programming error.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("dpif: duplicate provider %q", name))
+	}
+	registry[name] = f
+}
+
+// Open builds a datapath of the named type.
+func Open(name string, cfg Config) (Dpif, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("dpif: unknown datapath type %q (have %v)", name, Types())
+	}
+	return f(cfg)
+}
+
+// Types lists the registered provider names, sorted.
+func Types() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,98 @@
+package dpif
+
+import (
+	"ovsxdp/internal/dpcls"
+	"ovsxdp/internal/sim"
+)
+
+// Revalidator ages out idle megaflows, the way ovs-vswitchd's revalidator
+// threads do: a megaflow that saw no traffic for IdleSweeps consecutive
+// sweeps is removed (and, on the netdev datapath, stale EMC entries die
+// with the owning thread's cache flush). Without this, a long-running
+// switch accumulates one megaflow per decision path it ever made.
+//
+// The sweeper works entirely through the Dpif seam (FlowDump/FlowDel), so
+// the kernel-module and eBPF datapaths age out idle flows with exactly the
+// same policy as the userspace one.
+type Revalidator struct {
+	dp  Dpif
+	eng *sim.Engine
+	// Interval between sweeps.
+	Interval sim.Time
+	// IdleSweeps is how many hit-less sweeps a flow survives.
+	IdleSweeps int
+
+	lastHits map[*dpcls.Entry]uint64
+	idleFor  map[*dpcls.Entry]int
+	running  bool
+
+	// Stats.
+	Sweeps  uint64
+	Evicted uint64
+}
+
+// StartRevalidator launches periodic sweeps over the datapath on eng.
+func StartRevalidator(eng *sim.Engine, dp Dpif, interval sim.Time, idleSweeps int) *Revalidator {
+	if idleSweeps <= 0 {
+		idleSweeps = 2
+	}
+	r := &Revalidator{
+		dp:         dp,
+		eng:        eng,
+		Interval:   interval,
+		IdleSweeps: idleSweeps,
+		lastHits:   make(map[*dpcls.Entry]uint64),
+		idleFor:    make(map[*dpcls.Entry]int),
+		running:    true,
+	}
+	eng.Schedule(interval, r.sweep)
+	return r
+}
+
+// Stop halts future sweeps and releases the tracking maps. The engine may
+// still hold one already-scheduled sweep closure; it observes the stopped
+// state and returns without touching the datapath or rescheduling.
+func (r *Revalidator) Stop() {
+	r.running = false
+	r.lastHits = nil
+	r.idleFor = nil
+}
+
+// Running reports whether the revalidator is still sweeping.
+func (r *Revalidator) Running() bool { return r.running }
+
+// sweep examines every installed megaflow and evicts the idle ones.
+func (r *Revalidator) sweep() {
+	if !r.running {
+		return
+	}
+	r.Sweeps++
+	live := make(map[*dpcls.Entry]bool)
+	for _, f := range r.dp.FlowDump() {
+		e := f.Entry
+		live[e] = true
+		if e.Hits != r.lastHits[e] {
+			r.lastHits[e] = e.Hits
+			r.idleFor[e] = 0
+			continue
+		}
+		r.idleFor[e]++
+		if r.idleFor[e] >= r.IdleSweeps {
+			if r.dp.FlowDel(f) {
+				r.Evicted++
+			}
+			delete(r.lastHits, e)
+			delete(r.idleFor, e)
+			live[e] = false
+		}
+	}
+	// Forget tracking state for entries that vanished by other means
+	// (FlowFlush on rule changes).
+	for e := range r.lastHits {
+		if !live[e] {
+			delete(r.lastHits, e)
+			delete(r.idleFor, e)
+		}
+	}
+	r.eng.Schedule(r.Interval, r.sweep)
+}

@@ -11,6 +11,7 @@ import (
 	"ovsxdp/internal/containersim"
 	"ovsxdp/internal/core"
 	"ovsxdp/internal/costmodel"
+	"ovsxdp/internal/dpif"
 	"ovsxdp/internal/ebpf"
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/kernelsim"
@@ -48,6 +49,28 @@ func (k DPKind) String() string {
 	default:
 		return "ebpf"
 	}
+}
+
+// DpifType maps the kind to its dpif provider registry name.
+func (k DPKind) DpifType() string {
+	switch k {
+	case KindKernel:
+		return "netlink"
+	case KindEBPF:
+		return "ebpf"
+	default:
+		return "netdev"
+	}
+}
+
+// mustOpen opens a registered dpif provider or panics — testbeds are
+// constructed from compile-time kinds, so a miss is a programming error.
+func mustOpen(name string, cfg dpif.Config) dpif.Dpif {
+	d, err := dpif.Open(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 // VDevKind selects the VM device for PVP scenarios.
@@ -104,8 +127,9 @@ type Bed struct {
 	NICB      *nicsim.NIC
 	Delivered uint64
 
-	dp  *core.Datapath // nil for kernel datapaths
-	kdp *kernelsim.Datapath
+	// DP is the datapath under test, reached through the dpif provider
+	// seam — the bed never needs to know which implementation it drives.
+	DP dpif.Dpif
 
 	dropFns []func() uint64
 }
@@ -154,15 +178,13 @@ func NewP2PBed(cfg BedConfig) *Bed {
 
 	switch cfg.Kind {
 	case KindKernel, KindEBPF:
-		flavor := kernelsim.FlavorModule
-		if cfg.Kind == KindEBPF {
-			flavor = kernelsim.FlavorEBPF
-		}
-		kdp := kernelsim.NewDatapath(eng, flavor, forwardPipeline())
-		bed.kdp = kdp
-		kdp.Outputs[2] = func(p *packet.Packet) { bed.NICB.Transmit(p) }
+		nl := mustOpen(cfg.Kind.DpifType(),
+			dpif.Config{Eng: eng, Pipeline: forwardPipeline()}).(*dpif.Netlink)
+		bed.DP = nl
+		nl.PortAdd(dpif.TxPort{PortID: 2, PortName: "p1",
+			Deliver: func(p *packet.Packet) { bed.NICB.Transmit(p) }})
 		active := 0
-		kdp.ActiveCPUs = func() int {
+		nl.SetActiveCPUs(func() int {
 			if active == 0 {
 				n := 0
 				for q := 0; q < queues; q++ {
@@ -179,12 +201,12 @@ func NewP2PBed(cfg BedConfig) *Bed {
 				return n
 			}
 			return active
-		}
+		})
 		for q := 0; q < queues; q++ {
 			cpu := eng.NewCPU(fmt.Sprintf("ksoftirqd/%d", q))
 			actor := &kernelsim.NAPIActor{Eng: eng, CPU: cpu,
 				Src:     kernelsim.NICQueueSource{Q: bed.NICA.Queue(q)},
-				Handler: kdpHandler(kdp, 1),
+				Handler: kdpHandler(nl, 1),
 			}
 			actor.Start()
 		}
@@ -195,31 +217,33 @@ func NewP2PBed(cfg BedConfig) *Bed {
 		if _, err := core.AttachDefaultProgram(bed.NICB); err != nil {
 			panic(err)
 		}
-		dp := core.NewDatapath(eng, forwardPipeline(), cfg.Opts)
-		bed.dp = dp
+		nd := mustOpen("netdev",
+			dpif.Config{Eng: eng, Pipeline: forwardPipeline(), Options: cfg.Opts}).(*dpif.Netdev)
+		bed.DP = nd
 		portA := core.NewAFXDPPort(core.AFXDPPortConfig{ID: 1, NIC: bed.NICA, Eng: eng,
 			LockMode: cfg.Lock, ZeroCopy: cfg.ZeroCopy})
 		portB := core.NewAFXDPPort(core.AFXDPPortConfig{ID: 2, NIC: bed.NICB, Eng: eng,
 			LockMode: cfg.Lock, ZeroCopy: cfg.ZeroCopy})
-		dp.AddPort(portA)
-		dp.AddPort(portB)
+		nd.PortAdd(portA)
+		nd.PortAdd(portB)
 		bed.dropFns = append(bed.dropFns,
 			func() uint64 { return xskDrops(portA, queues) },
 			func() uint64 { return portA.TxDrops + portB.TxDrops })
 		for q := 0; q < queues; q++ {
-			pmd := dp.NewPMD(cfg.Mode, nil)
+			pmd := nd.NewPMD(cfg.Mode)
 			pmd.AssignRxQueue(portA, q)
 			pmd.Start()
 		}
 	case KindDPDK:
-		dp := core.NewDatapath(eng, forwardPipeline(), cfg.Opts)
-		bed.dp = dp
+		nd := mustOpen("netdev",
+			dpif.Config{Eng: eng, Pipeline: forwardPipeline(), Options: cfg.Opts}).(*dpif.Netdev)
+		bed.DP = nd
 		portA := core.NewDPDKPort(1, bed.NICA)
 		portB := core.NewDPDKPort(2, bed.NICB)
-		dp.AddPort(portA)
-		dp.AddPort(portB)
+		nd.PortAdd(portA)
+		nd.PortAdd(portB)
 		for q := 0; q < queues; q++ {
-			pmd := dp.NewPMD(core.ModePoll, nil)
+			pmd := nd.NewPMD(core.ModePoll)
 			pmd.AssignRxQueue(portA, q)
 			pmd.Start()
 		}
@@ -294,22 +318,24 @@ func NewPVPBed(cfg BedConfig) *Bed {
 
 	switch cfg.Kind {
 	case KindKernel:
-		kdp := kernelsim.NewDatapath(eng, kernelsim.FlavorModule, pl)
-		bed.kdp = kdp
-		kdp.ActiveCPUs = kernelActiveFn(bed, queues, cfg.Flows)
+		nl := mustOpen("netlink", dpif.Config{Eng: eng, Pipeline: pl}).(*dpif.Netlink)
+		bed.DP = nl
+		nl.SetActiveCPUs(kernelActiveFn(bed, queues, cfg.Flows))
 		// VM attaches via tap: in-kernel handoff (no syscall).
 		tapDev, _ := backend.(*vmsim.TapBackend)
-		kdp.Outputs[2] = func(p *packet.Packet) { bed.NICB.Transmit(p) }
-		kdp.Outputs[3] = func(p *packet.Packet) {
-			if tapDev != nil {
-				tapDev.Tap.ToKernel.Push(p)
-			}
-		}
+		nl.PortAdd(dpif.TxPort{PortID: 2, PortName: "p1",
+			Deliver: func(p *packet.Packet) { bed.NICB.Transmit(p) }})
+		nl.PortAdd(dpif.TxPort{PortID: 3, PortName: "tap0",
+			Deliver: func(p *packet.Packet) {
+				if tapDev != nil {
+					tapDev.Tap.ToKernel.Push(p)
+				}
+			}})
 		for q := 0; q < queues; q++ {
 			cpu := eng.NewCPU(fmt.Sprintf("ksoftirqd/%d", q))
 			(&kernelsim.NAPIActor{Eng: eng, CPU: cpu,
 				Src:     kernelsim.NICQueueSource{Q: bed.NICA.Queue(q)},
-				Handler: kdpHandler(kdp, 1)}).Start()
+				Handler: kdpHandler(nl, 1)}).Start()
 		}
 		// Traffic leaving the VM re-enters the kernel datapath.
 		if tapDev != nil {
@@ -320,13 +346,14 @@ func NewPVPBed(cfg BedConfig) *Bed {
 					for _, p := range pkts {
 						p.ResetMetadata()
 						p.InPort = 3
-						kdp.Process(cpu, p)
+						nl.Process(cpu, p)
 					}
 				}}).Start()
 		}
 	case KindAFXDP, KindDPDK:
-		dp := core.NewDatapath(eng, pl, cfg.Opts)
-		bed.dp = dp
+		nd := mustOpen("netdev",
+			dpif.Config{Eng: eng, Pipeline: pl, Options: cfg.Opts}).(*dpif.Netdev)
+		bed.DP = nd
 		var portA, portB core.Port
 		if cfg.Kind == KindAFXDP {
 			if _, err := core.AttachDefaultProgram(bed.NICA); err != nil {
@@ -343,11 +370,11 @@ func NewPVPBed(cfg BedConfig) *Bed {
 			portA = core.NewDPDKPort(1, bed.NICA)
 			portB = core.NewDPDKPort(2, bed.NICB)
 		}
-		dp.AddPort(portA)
-		dp.AddPort(portB)
-		dp.AddPort(vmPort)
+		nd.PortAdd(portA)
+		nd.PortAdd(portB)
+		nd.PortAdd(vmPort)
 		for q := 0; q < queues; q++ {
-			pmd := dp.NewPMD(cfg.Mode, nil)
+			pmd := nd.NewPMD(cfg.Mode)
 			pmd.AssignRxQueue(portA, q)
 			if q == 0 {
 				pmd.AssignRxQueue(vmPort, 0)
@@ -422,14 +449,17 @@ func NewPCPBed(mode PCPMode, flows int, seed uint64) *Bed {
 
 	switch mode {
 	case PCPKernel:
-		kdp := kernelsim.NewDatapath(eng, kernelsim.FlavorModule, forwardPipelinePCP())
-		bed.kdp = kdp
-		kdp.Outputs[2] = func(p *packet.Packet) { bed.NICB.Transmit(p) }
-		kdp.Outputs[3] = func(p *packet.Packet) { veth.SendA(p) }
+		nl := mustOpen("netlink",
+			dpif.Config{Eng: eng, Pipeline: forwardPipelinePCP()}).(*dpif.Netlink)
+		bed.DP = nl
+		nl.PortAdd(dpif.TxPort{PortID: 2, PortName: "p1",
+			Deliver: func(p *packet.Packet) { bed.NICB.Transmit(p) }})
+		nl.PortAdd(dpif.TxPort{PortID: 3, PortName: "veth0",
+			Deliver: func(p *packet.Packet) { veth.SendA(p) }})
 		cpu := eng.NewCPU("ksoftirqd/0")
 		(&kernelsim.NAPIActor{Eng: eng, CPU: cpu,
 			Src:     kernelsim.NICQueueSource{Q: bed.NICA.Queue(0)},
-			Handler: kdpHandler(kdp, 1)}).Start()
+			Handler: kdpHandler(nl, 1)}).Start()
 		// Container output re-enters the datapath.
 		cpu2 := eng.NewCPU("ksoftirqd/veth")
 		(&kernelsim.NAPIActor{Eng: eng, CPU: cpu2,
@@ -438,7 +468,7 @@ func NewPCPBed(mode PCPMode, flows int, seed uint64) *Bed {
 				for _, p := range pkts {
 					p.ResetMetadata()
 					p.InPort = 3
-					kdp.Process(cpu, p)
+					nl.Process(cpu, p)
 				}
 			}}).Start()
 
@@ -493,17 +523,18 @@ func NewPCPBed(mode PCPMode, flows int, seed uint64) *Bed {
 			}}).Start()
 
 	case PCPDPDK:
-		dp := core.NewDatapath(eng, forwardPipelinePCP(), core.DefaultOptions())
-		bed.dp = dp
+		nd := mustOpen("netdev", dpif.Config{Eng: eng, Pipeline: forwardPipelinePCP(),
+			Options: core.DefaultOptions()}).(*dpif.Netdev)
+		bed.DP = nd
 		portA := core.NewDPDKPort(1, bed.NICA)
 		portB := core.NewDPDKPort(2, bed.NICB)
-		dp.AddPort(portA)
-		dp.AddPort(portB)
+		nd.PortAdd(portA)
+		nd.PortAdd(portB)
 		// Container access via AF_PACKET: extra user/kernel crossing
 		// each way (Section 5.3's explanation of DPDK's latency).
 		dpdkCt := &dpdkContainerPort{id: 3, veth: veth, eng: eng}
-		dp.AddPort(dpdkCt)
-		pmd := dp.NewPMD(core.ModePoll, nil)
+		nd.PortAdd(dpdkCt)
+		pmd := nd.NewPMD(core.ModePoll)
 		pmd.AssignRxQueue(portA, 0)
 		pmd.AssignRxQueue(dpdkCt, 0)
 		pmd.Start()
@@ -564,11 +595,11 @@ func (p *dpdkContainerPort) Arm(_ int, fn func()) {
 
 // kdpHandler feeds packets to the kernel datapath with the right input
 // port set.
-func kdpHandler(kdp *kernelsim.Datapath, inPort uint32) func(*sim.CPU, []*packet.Packet) {
+func kdpHandler(d *dpif.Netlink, inPort uint32) func(*sim.CPU, []*packet.Packet) {
 	return func(cpu *sim.CPU, pkts []*packet.Packet) {
 		for _, p := range pkts {
 			p.InPort = inPort
-			kdp.Process(cpu, p)
+			d.Process(cpu, p)
 		}
 	}
 }

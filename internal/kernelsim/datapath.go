@@ -54,6 +54,10 @@ type Datapath struct {
 	// concurrently, feeding the SMT-contention model; nil means 1.
 	ActiveCPUs func() int
 
+	// upcall, when set, replaces Pipeline.Translate as the slow-path
+	// handler (dpif upcall registration).
+	upcall func(flow.Key) (ofproto.Megaflow, error)
+
 	// Stats.
 	Hits    uint64
 	Misses  uint64
@@ -75,6 +79,37 @@ func NewDatapath(eng *sim.Engine, flavor Flavor, pl *ofproto.Pipeline) *Datapath
 
 // FlowCount returns installed datapath flows.
 func (d *Datapath) FlowCount() int { return d.flows.Len() }
+
+// Flows snapshots the installed datapath flows (dpif flow dumps, the data
+// behind ovs-dpctl dump-flows on the kernel datapath).
+func (d *Datapath) Flows() []*dpcls.Entry { return d.flows.Entries() }
+
+// RemoveFlow deletes one installed flow, reporting whether it was present
+// (revalidator eviction).
+func (d *Datapath) RemoveFlow(e *dpcls.Entry) bool { return d.flows.Remove(e) }
+
+// InstallFlow installs a datapath flow directly (dpif FlowPut). The eBPF
+// flavor's verifier restrictions forbid megaflow wildcarding, so its masks
+// are narrowed to exact-match exactly as on the upcall path.
+func (d *Datapath) InstallFlow(key flow.Key, mask flow.Mask, actions any) *dpcls.Entry {
+	if d.Flavor == FlavorEBPF {
+		mask = flow.MaskAll()
+	}
+	return d.flows.Insert(key, mask, actions)
+}
+
+// SetUpcall registers the slow-path handler consulted on flow-table misses
+// in place of the pipeline's translator (dpif upcall registration).
+func (d *Datapath) SetUpcall(fn func(flow.Key) (ofproto.Megaflow, error)) { d.upcall = fn }
+
+// translate resolves a missed key through the registered upcall handler,
+// defaulting to the pipeline.
+func (d *Datapath) translate(key flow.Key) (ofproto.Megaflow, error) {
+	if d.upcall != nil {
+		return d.upcall(key)
+	}
+	return d.Pipeline.Translate(key)
+}
 
 // cost scales a base cost for the flavor (eBPF sandbox penalty) and the
 // current softirq fan-out (SMT contention).
@@ -120,17 +155,12 @@ func (d *Datapath) process(cpu *sim.CPU, p *packet.Packet, depth int) {
 		d.Misses++
 		d.Upcalls++
 		cpu.Consume(sim.System, costmodel.UpcallCost)
-		mf, err := d.Pipeline.Translate(key)
+		mf, err := d.translate(key)
 		if err != nil {
 			d.Drops++
 			return
 		}
-		mask := mf.Mask
-		if d.Flavor == FlavorEBPF {
-			// No megaflows in the sandbox: exact-match only.
-			mask = flow.MaskAll()
-		}
-		entry = d.flows.Insert(key, mask, mf.Actions)
+		entry = d.InstallFlow(key, mf.Mask, mf.Actions)
 	} else {
 		d.Hits++
 	}

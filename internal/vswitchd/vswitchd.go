@@ -11,7 +11,7 @@ import (
 	"net"
 	"sync"
 
-	"ovsxdp/internal/core"
+	"ovsxdp/internal/dpif"
 	"ovsxdp/internal/ofproto"
 	"ovsxdp/internal/openflow"
 	"ovsxdp/internal/ovsdb"
@@ -19,8 +19,10 @@ import (
 
 // PortFactory builds a datapath port for an Interface row. The experiment
 // or example wiring supplies it, since only the caller knows which NICs
-// and virtual devices exist.
-type PortFactory func(ifType, name string, options map[string]string) (core.Port, error)
+// and virtual devices exist; the returned port must be one the daemon's
+// dpif provider accepts (core.Port or dpif.TxPort for netdev, dpif.TxPort
+// for the kernel datapaths).
+type PortFactory func(ifType, name string, options map[string]string) (dpif.Port, error)
 
 // Bridge is one OVS bridge.
 type Bridge struct {
@@ -35,7 +37,7 @@ type VSwitchd struct {
 
 	DB       *ovsdb.Server
 	Pipeline *ofproto.Pipeline
-	Datapath *core.Datapath
+	Datapath dpif.Dpif
 	Factory  PortFactory
 
 	bridges map[string]*Bridge
@@ -56,11 +58,12 @@ type VSwitchd struct {
 	FlowMods uint64
 }
 
-// New builds a daemon around a datapath and database.
-func New(db *ovsdb.Server, dp *core.Datapath) *VSwitchd {
+// New builds a daemon around a database, the OpenFlow pipeline, and any
+// dpif datapath provider — the daemon never learns which one it drives.
+func New(db *ovsdb.Server, pl *ofproto.Pipeline, dp dpif.Dpif) *VSwitchd {
 	v := &VSwitchd{
 		DB:       db,
-		Pipeline: dp.Pipeline,
+		Pipeline: pl,
 		Datapath: dp,
 		bridges:  make(map[string]*Bridge),
 		nextID:   1,
@@ -145,7 +148,9 @@ func (v *VSwitchd) AddPort(bridge, name, ifType string, options map[string]strin
 	if !ok {
 		return fmt.Errorf("vswitchd: no bridge %q", bridge)
 	}
-	v.Datapath.AddPort(port)
+	if err := v.Datapath.PortAdd(port); err != nil {
+		return fmt.Errorf("vswitchd: attaching %s port %q: %w", ifType, name, err)
+	}
 	b.Ports[name] = port.ID()
 	return nil
 }
@@ -171,7 +176,9 @@ func (v *VSwitchd) DelPort(bridge, name string) error {
 	if !ok {
 		return fmt.Errorf("vswitchd: no port %q on %q", name, bridge)
 	}
-	v.Datapath.RemovePort(id)
+	if err := v.Datapath.PortDel(id); err != nil {
+		return err
+	}
 	delete(b.Ports, name)
 	return nil
 }
@@ -256,7 +263,7 @@ func (v *VSwitchd) ApplyFlowMod(fm openflow.FlowMod) {
 	}
 	v.FlowMods++
 	// Revalidation: cached megaflows may encode stale decisions.
-	v.Datapath.FlushFlows()
+	v.Datapath.FlowFlush()
 }
 
 // FlowStats gathers per-rule statistics for a table (0xff = all tables),
@@ -303,7 +310,7 @@ func (v *VSwitchd) Guard(fn func()) (crashed bool) {
 // survive because their configuration lives in OVSDB / the controller,
 // which re-installs on reconnect — modeled here by retaining the pipeline.
 func (v *VSwitchd) restart() {
-	v.Datapath.FlushFlows()
+	v.Datapath.FlowFlush()
 	v.Restarts++
 	if v.OnRestart != nil {
 		v.OnRestart()

@@ -7,11 +7,14 @@ import (
 	"time"
 
 	"ovsxdp/internal/core"
+	"ovsxdp/internal/dpif"
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/nicsim"
 	"ovsxdp/internal/ofproto"
 	"ovsxdp/internal/openflow"
 	"ovsxdp/internal/ovsdb"
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/packet/hdr"
 	"ovsxdp/internal/sim"
 	"ovsxdp/internal/vdev"
 )
@@ -19,10 +22,14 @@ import (
 func testDaemon(t *testing.T) (*VSwitchd, *sim.Engine) {
 	t.Helper()
 	eng := sim.NewEngine(1)
-	dp := core.NewDatapath(eng, ofproto.NewPipeline(), core.DefaultOptions())
+	pl := ofproto.NewPipeline()
+	d, err := dpif.Open("netdev", dpif.Config{Eng: eng, Pipeline: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
 	db := ovsdb.NewServer()
-	v := New(db, dp)
-	v.Factory = func(ifType, name string, options map[string]string) (core.Port, error) {
+	v := New(db, pl, d)
+	v.Factory = func(ifType, name string, options map[string]string) (dpif.Port, error) {
 		id := v.NextPortID()
 		switch ifType {
 		case "afxdp":
@@ -56,8 +63,8 @@ func TestBridgeAndPortFromOVSDB(t *testing.T) {
 	if len(b.Ports) != 2 {
 		t.Fatalf("ports = %v", b.Ports)
 	}
-	if v.Datapath.Ports() != 2 {
-		t.Fatalf("datapath ports = %d", v.Datapath.Ports())
+	if v.Datapath.PortCount() != 2 {
+		t.Fatalf("datapath ports = %d", v.Datapath.PortCount())
 	}
 }
 
@@ -72,7 +79,7 @@ func TestBadInterfaceTypeRecordsError(t *testing.T) {
 	if len(rows) != 1 || rows[0]["error"] == nil {
 		t.Fatalf("interface error not recorded: %+v", rows)
 	}
-	if v.Datapath.Ports() != 0 {
+	if v.Datapath.PortCount() != 0 {
 		t.Fatal("failed port must not attach")
 	}
 }
@@ -87,7 +94,7 @@ func TestDelPort(t *testing.T) {
 	if err := v.DelPort("br0", "tap0"); err != nil {
 		t.Fatal(err)
 	}
-	if v.Datapath.Ports() != 0 {
+	if v.Datapath.PortCount() != 0 {
 		t.Fatal("port not removed from datapath")
 	}
 	if err := v.DelPort("br0", "tap0"); err == nil {
@@ -253,4 +260,84 @@ func TestOpenFlowDumpFlows(t *testing.T) {
 	if len(entries) != 1 || entries[0].Table != 5 || entries[0].Priority != 20 {
 		t.Fatalf("table-5 dump = %+v", entries)
 	}
+}
+
+// kernelDaemon builds a daemon over the given kernel-side dpif provider
+// ("netlink" or "ebpf"); ports are TxPort sinks counting delivery.
+func kernelDaemon(t *testing.T, dpType string, delivered *int) (*VSwitchd, dpif.Dpif) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	pl := ofproto.NewPipeline()
+	d, err := dpif.Open(dpType, dpif.Config{Eng: eng, Pipeline: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(ovsdb.NewServer(), pl, d)
+	v.Factory = func(ifType, name string, options map[string]string) (dpif.Port, error) {
+		return dpif.TxPort{PortID: v.NextPortID(), PortName: name,
+			Deliver: func(*packet.Packet) { *delivered++ }}, nil
+	}
+	return v, d
+}
+
+// TestDaemonOverKernelDpif is the point of the provider seam: the exact
+// same daemon logic (OVSDB-driven ports, flow mods, crash restart) drives
+// the kernel-module and eBPF datapaths it previously could not.
+func TestDaemonOverKernelDpif(t *testing.T) {
+	for _, dpType := range []string{"netlink", "ebpf"} {
+		t.Run(dpType, func(t *testing.T) {
+			delivered := 0
+			v, d := kernelDaemon(t, dpType, &delivered)
+			v.DB.Transact([]ovsdb.Op{
+				{Op: "insert", Table: ovsdb.TableBridge, Row: ovsdb.Row{"name": "br0"}},
+				{Op: "insert", Table: ovsdb.TableInterface,
+					Row: ovsdb.Row{"name": "p0", "type": "internal", "bridge": "br0"}},
+				{Op: "insert", Table: ovsdb.TableInterface,
+					Row: ovsdb.Row{"name": "p1", "type": "internal", "bridge": "br0"}},
+			})
+			if v.Datapath.PortCount() != 2 {
+				t.Fatalf("ports = %d", v.Datapath.PortCount())
+			}
+
+			// An OpenFlow rule programs the shared pipeline; traffic
+			// installs a datapath flow and is delivered to the TxPort.
+			v.ApplyFlowMod(openflow.FlowMod{Command: openflow.FlowModAdd, TableID: 0, Priority: 10,
+				Match:   ofproto.NewMatch(flow.Fields{InPort: 1}, flow.NewMaskBuilder().InPort().Build()),
+				Actions: []ofproto.Action{ofproto.Output(2)}})
+			p := testPacket(t)
+			d.Execute(p)
+			if delivered != 1 {
+				t.Fatalf("delivered = %d", delivered)
+			}
+			if s := d.Stats(); s.Flows != 1 || s.Missed != 1 {
+				t.Fatalf("stats = %+v", s)
+			}
+
+			// A later flow mod revalidates: the cached datapath flow is
+			// flushed through the seam.
+			v.ApplyFlowMod(openflow.FlowMod{Command: openflow.FlowModAdd, TableID: 0, Priority: 20,
+				Match:   ofproto.NewMatch(flow.Fields{InPort: 1}, flow.NewMaskBuilder().InPort().Build()),
+				Actions: []ofproto.Action{ofproto.Drop()}})
+			if s := d.Stats(); s.Flows != 0 {
+				t.Fatalf("flow mod did not flush datapath flows: %+v", s)
+			}
+
+			// Crash recovery flushes through the seam too.
+			v.Guard(func() { panic("boom") })
+			if v.Restarts != 1 {
+				t.Fatalf("restarts = %d", v.Restarts)
+			}
+		})
+	}
+}
+
+func testPacket(t *testing.T) *packet.Packet {
+	t.Helper()
+	frame := hdr.NewBuilder().
+		Eth(hdr.MAC{0x02, 0xaa, 0, 0, 0, 1}, hdr.MAC{0x02, 0xbb, 0, 0, 0, 1}).
+		IPv4H(hdr.MakeIP4(10, 0, 0, 1), hdr.MakeIP4(10, 0, 0, 2), 64).
+		UDPH(1000, 2000).PadTo(64).Build()
+	p := packet.New(frame)
+	p.InPort = 1
+	return p
 }
