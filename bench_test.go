@@ -165,7 +165,7 @@ func BenchmarkDpifExecute(b *testing.B) {
 func ablationRate(b *testing.B, mutate func(*experiments.BedConfig)) float64 {
 	cfg := experiments.DefaultBed(experiments.KindAFXDP, 1)
 	mutate(&cfg)
-	rate, _ := measure.LosslessRate(
+	rate, _, _ := measure.LosslessRate(
 		measure.SearchConfig{LoPPS: 5e4, HiPPS: 20e6, LossTolerance: 0.002, Iterations: 8},
 		func(r float64) measure.ProbeResult {
 			bed := experiments.NewP2PBed(cfg)
@@ -222,7 +222,7 @@ func BenchmarkAblationNoWildcarding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultBed(experiments.KindEBPF, 1000)
 		cfg.KernelQueues = 1
-		rate, _ = func() (float64, measure.ProbeResult) {
+		rate, _, _ = func() (float64, measure.ProbeResult, bool) {
 			return measure.LosslessRate(
 				measure.SearchConfig{LoPPS: 5e4, HiPPS: 10e6, LossTolerance: 0.002, Iterations: 7},
 				func(r float64) measure.ProbeResult {

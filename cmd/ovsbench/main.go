@@ -22,6 +22,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use shortened measurement windows")
+	perfStages := flag.Bool("perf", false, "add per-stage cycle attribution rows (fig9, table4)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -29,6 +30,7 @@ func main() {
 	if *quick {
 		profile = experiments.Quick
 	}
+	profile.PerfStages = *perfStages
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -72,7 +74,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `ovsbench — regenerate the paper's evaluation
 
 usage:
-  ovsbench [-quick] list | all | <experiment>...
+  ovsbench [-quick] [-perf] list | all | <experiment>...
 
 experiments: fig1 fig2 fig8a fig8b fig8c fig9a fig9b fig9c fig10 fig11 fig12
              table1 table2 table3 table4 table5

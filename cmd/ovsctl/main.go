@@ -11,9 +11,11 @@
 // Usage:
 //
 //	ovsctl [-datapath netdev|netlink|ebpf] demo
-//	ovsctl [-datapath ...] show         # bridge/port summary (ovs-vsctl show)
-//	ovsctl [-datapath ...] dump-flows   # installed megaflows (dpctl/dump-flows)
-//	ovsctl [-datapath ...] dpctl-stats  # datapath counters (ovs-dpctl show)
+//	ovsctl [-datapath ...] show           # bridge/port summary (ovs-vsctl show)
+//	ovsctl [-datapath ...] dump-flows     # installed megaflows (dpctl/dump-flows)
+//	ovsctl [-datapath ...] dpctl-stats    # datapath counters (ovs-dpctl show)
+//	ovsctl [-datapath ...] pmd-perf-show  # per-thread stage cycles (dpif-netdev/pmd-perf-show)
+//	ovsctl [-datapath ...] pmd-perf-trace # last packet lifecycles through the fast path
 package main
 
 import (
@@ -38,7 +40,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ovsctl [-datapath %v] demo|show|dump-flows|dpctl-stats\n",
+	fmt.Fprintf(os.Stderr, "usage: ovsctl [-datapath %v] demo|show|dump-flows|dpctl-stats|pmd-perf-show|pmd-perf-trace\n",
 		dpif.Types())
 }
 
@@ -57,6 +59,10 @@ func main() {
 		err = dumpFlows(*dpType)
 	case "dpctl-stats":
 		err = dpctlStats(*dpType)
+	case "pmd-perf-show":
+		err = pmdPerfShow(*dpType)
+	case "pmd-perf-trace":
+		err = pmdPerfTrace(*dpType)
 	default:
 		usage()
 		os.Exit(2)
@@ -218,6 +224,38 @@ func dpctlStats(dpType string) error {
 	fmt.Printf("  lookups: hit:%d missed:%d lost:%d\n", st.Hits, st.Missed, st.Lost)
 	fmt.Printf("  flows: %d\n", st.Flows)
 	fmt.Printf("  ports: %d\n", e.dp.PortCount())
+	return nil
+}
+
+// pmdPerfShow prints the per-thread performance counters after injecting
+// traffic — the ovs-appctl dpif-netdev/pmd-perf-show analog: cycles per
+// stage, packets-per-batch mean, upcall latency percentiles.
+func pmdPerfShow(dpType string) error {
+	e, err := newEnv(dpType)
+	if err != nil {
+		return err
+	}
+	if err := e.configure(); err != nil {
+		return err
+	}
+	e.inject(64)
+	fmt.Print(e.daemon.PmdPerfShow())
+	return nil
+}
+
+// pmdPerfTrace arms lifecycle tracing, injects traffic, and prints the
+// retained packet lifecycles (portin -> cache level -> portout, virtual time).
+func pmdPerfTrace(dpType string) error {
+	e, err := newEnv(dpType)
+	if err != nil {
+		return err
+	}
+	if err := e.configure(); err != nil {
+		return err
+	}
+	e.dp.EnableTrace(16)
+	e.inject(8)
+	fmt.Print(e.daemon.PmdPerfTrace())
 	return nil
 }
 

@@ -104,6 +104,50 @@ func TestUmemBuffer(t *testing.T) {
 	u.Buffer(u.ChunkAddr(3), 512)
 }
 
+// Regression: Buffer only checked the area end, so an access longer than
+// the chunk silently returned bytes of the *next* chunk (cross-chunk
+// packet corruption). It must panic instead.
+func TestUmemBufferCrossChunkPanics(t *testing.T) {
+	u := NewUmem(4, 256)
+	// Mark the start of chunk 2; a buggy Buffer would expose it through a
+	// long access rooted in chunk 1.
+	u.Buffer(u.ChunkAddr(2), 1)[0] = 0x5a
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access crossing a chunk boundary must panic")
+		}
+	}()
+	u.Buffer(u.ChunkAddr(1), 257)
+}
+
+func TestUmemBufferCrossChunkOffsetPanics(t *testing.T) {
+	u := NewUmem(4, 256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("offset access running past the chunk end must panic")
+		}
+	}()
+	// Within the area, within one chunk length, but crossing into chunk 1.
+	u.Buffer(u.ChunkAddr(0)+200, 100)
+}
+
+func TestUmemBufferWholeChunkAllowed(t *testing.T) {
+	u := NewUmem(4, 256)
+	if got := len(u.Buffer(u.ChunkAddr(1), 256)); got != 256 {
+		t.Fatalf("whole-chunk access returned %d bytes", got)
+	}
+}
+
+func TestUmemBufferNegativeLengthPanics(t *testing.T) {
+	u := NewUmem(4, 256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative length must panic, not alias earlier memory")
+		}
+	}()
+	u.Buffer(u.ChunkAddr(1), -1)
+}
+
 func TestPoolAllocRelease(t *testing.T) {
 	u := NewUmem(8, 128)
 	p := NewPool(u, LockSpin)

@@ -43,11 +43,21 @@ func (u *Umem) ChunkSize() int { return u.chunkSize }
 func (u *Umem) Chunks() int { return u.chunks }
 
 // Buffer returns the memory of the chunk containing addr, trimmed to n
-// bytes. It panics on an out-of-range address: verified producers only hand
-// out addresses from the pool, so a bad address is a simulation bug.
+// bytes. It panics on an out-of-range or cross-chunk access: verified
+// producers only hand out addresses from the pool and frames never exceed
+// the chunk size, so either is a simulation bug — and an access running
+// past the chunk end would silently alias the next chunk's packet bytes.
 func (u *Umem) Buffer(addr uint64, n int) []byte {
-	if int(addr)+n > len(u.area) {
-		panic(fmt.Sprintf("afxdp: umem access [%d,%d) beyond area %d", addr, int(addr)+n, len(u.area)))
+	if n < 0 {
+		panic(fmt.Sprintf("afxdp: negative umem access length %d", n))
+	}
+	if addr >= uint64(len(u.area)) {
+		panic(fmt.Sprintf("afxdp: umem address %d beyond area %d", addr, len(u.area)))
+	}
+	off := addr % uint64(u.chunkSize)
+	if uint64(n) > uint64(u.chunkSize)-off {
+		panic(fmt.Sprintf("afxdp: umem access [%d,+%d) crosses chunk boundary (chunk size %d, offset %d)",
+			addr, n, u.chunkSize, off))
 	}
 	return u.area[addr : addr+uint64(n)]
 }

@@ -7,6 +7,7 @@ import (
 	"ovsxdp/internal/ofproto"
 	"ovsxdp/internal/packet"
 	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/perf"
 	"ovsxdp/internal/sim"
 	"ovsxdp/internal/tunnel"
 )
@@ -92,6 +93,9 @@ type Datapath struct {
 	// activePMDs counts PMD threads that have processed traffic, for the
 	// contention model.
 	activePMDs int
+	// traceDepth, when positive, arms packet-lifecycle tracing with a ring
+	// of that many records on every PMD (existing and future).
+	traceDepth int
 
 	// upcall, when set, replaces Pipeline.Translate as the slow-path
 	// handler (dpif upcall registration).
@@ -156,6 +160,16 @@ func (d *Datapath) FlowCount() int {
 // diagnostics).
 func (d *Datapath) PMDs() []*PMD { return d.pmds }
 
+// EnableTrace arms packet-lifecycle tracing on every PMD, keeping the last
+// n records per thread; n <= 0 disables it. Tracing is pure accounting and
+// does not perturb virtual time.
+func (d *Datapath) EnableTrace(n int) {
+	d.traceDepth = n
+	for _, m := range d.pmds {
+		m.Perf.EnableTrace(n)
+	}
+}
+
 // SetUpcall registers the slow-path handler consulted on classifier misses
 // in place of the pipeline's translator (dpif upcall registration).
 func (d *Datapath) SetUpcall(fn func(flow.Key) (ofproto.Megaflow, error)) { d.upcall = fn }
@@ -193,10 +207,27 @@ func (d *Datapath) processOne(m *PMD, p *packet.Packet, depth int) {
 	d.Processed++
 	cpu := m.CPU
 
+	if depth == 0 {
+		m.Perf.Packets++
+		if tr := m.Perf.Tracer(); tr != nil {
+			start := cpu.FreeAt()
+			if now := d.Eng.Now(); start < now {
+				start = now
+			}
+			rec := perf.TraceRecord{InPort: p.InPort, Start: start}
+			m.trace = &rec
+			defer func() {
+				rec.End = cpu.FreeAt()
+				tr.Add(rec)
+				m.trace = nil
+			}()
+		}
+	}
+
 	// dp_packet metadata (O4).
-	cpu.Consume(sim.User, costmodel.PacketMetadataInit)
+	m.charge(perf.StageRx, costmodel.PacketMetadataInit)
 	if !d.Opts.MetadataPrealloc {
-		cpu.Consume(sim.User, costmodel.PacketMetadataMmap)
+		m.charge(perf.StageRx, costmodel.PacketMetadataMmap)
 	}
 
 	// Receive-side checksum validation (O5): packets whose checksum no
@@ -204,7 +235,7 @@ func (d *Datapath) processOne(m *PMD, p *packet.Packet, depth int) {
 	// software, unless the experiment assumes the future offload.
 	if depth == 0 && p.Offloads&(packet.CsumVerified|packet.CsumPartial) == 0 {
 		if !d.Opts.AssumeCsumOffload {
-			cpu.Consume(sim.User, costmodel.ChecksumCost(len(p.Data)))
+			m.charge(perf.StageRx, costmodel.ChecksumCost(len(p.Data)))
 		}
 		p.Offloads |= packet.CsumVerified
 	}
@@ -212,31 +243,36 @@ func (d *Datapath) processOne(m *PMD, p *packet.Packet, depth int) {
 	// Flow key extraction (the real parser, charged at the calibrated
 	// rate).
 	key := flow.Extract(p)
-	cpu.Consume(sim.User, costmodel.ParseFlowKey)
+	m.charge(perf.StageRx, costmodel.ParseFlowKey)
 
 	var actions []ofproto.DPAction
 	hit := false
 	if d.Opts.EMC {
 		if e, ok := m.emc.Lookup(key); ok {
-			cpu.Consume(sim.User, costmodel.EMCHit)
+			m.charge(perf.StageEMC, costmodel.EMCHit)
 			if m.emc.Len() > d.Opts.ColdFlowThreshold {
-				cpu.Consume(sim.User, costmodel.ColdFlowCacheMiss)
+				m.charge(perf.StageEMC, costmodel.ColdFlowCacheMiss)
 			}
 			actions, _ = e.Actions.([]ofproto.DPAction)
 			d.EMCHits++
+			m.Perf.EMCHits++
+			m.traceResolved(perf.ResultEMC)
 			hit = true
 		} else {
-			cpu.Consume(sim.User, costmodel.EMCMissProbe)
+			m.charge(perf.StageEMC, costmodel.EMCMissProbe)
 		}
 	}
 	if !hit {
 		e, probes := m.cls.Lookup(key)
-		cpu.Consume(sim.User, sim.Time(probes)*costmodel.DpclsLookupPerSubtable)
+		m.charge(perf.StageDpcls, sim.Time(probes)*costmodel.DpclsLookupPerSubtable)
 		if e == nil {
 			// Upcall: inline slow-path translation on this PMD.
 			d.Upcalls++
-			cpu.Consume(sim.User, costmodel.UpcallCost)
+			upcallBefore := cpu.BusyTotal()
+			m.charge(perf.StageUpcall, costmodel.UpcallCost)
 			mf, err := d.translate(key)
+			m.Perf.AddUpcall(cpu.BusyTotal() - upcallBefore)
+			m.traceResolved(perf.ResultUpcall)
 			if err != nil {
 				d.UpcallErrors++
 				d.Drops++
@@ -245,6 +281,8 @@ func (d *Datapath) processOne(m *PMD, p *packet.Packet, depth int) {
 			e = m.cls.Insert(key, mf.Mask, mf.Actions)
 		} else {
 			d.MegaflowHits++
+			m.Perf.MegaflowHits++
+			m.traceResolved(perf.ResultMegaflow)
 		}
 		if d.Opts.EMC {
 			m.emc.Insert(key, e)
@@ -259,9 +297,16 @@ func (d *Datapath) processOne(m *PMD, p *packet.Packet, depth int) {
 	d.execute(m, p, actions, depth)
 }
 
+// traceResolved notes the caching level that resolved the packet currently
+// being traced; only the first level sticks (recirculations re-resolve).
+func (m *PMD) traceResolved(r perf.Result) {
+	if m.trace != nil && m.trace.Result == perf.ResultNone {
+		m.trace.Result = r
+	}
+}
+
 // execute runs a compiled datapath action list.
 func (d *Datapath) execute(m *PMD, p *packet.Packet, actions []ofproto.DPAction, depth int) {
-	cpu := m.CPU
 	for _, a := range actions {
 		switch a.Type {
 		case ofproto.DPOutput:
@@ -270,23 +315,29 @@ func (d *Datapath) execute(m *PMD, p *packet.Packet, actions []ofproto.DPAction,
 				d.Drops++
 				return
 			}
-			cpu.Consume(sim.User, costmodel.ExecActionOutput)
+			m.charge(perf.StageActions, costmodel.ExecActionOutput)
+			if m.trace != nil {
+				m.trace.OutPort = a.Port
+			}
 			d.transmit(m, out, p)
 
 		case ofproto.DPCT:
-			cpu.Consume(sim.User, costmodel.ConntrackLookup)
+			m.charge(perf.StageActions, costmodel.ConntrackLookup)
 			if a.Commit {
-				cpu.Consume(sim.User, costmodel.ConntrackCommit-costmodel.ConntrackLookup)
+				m.charge(perf.StageActions, costmodel.ConntrackCommit-costmodel.ConntrackLookup)
 			}
 			d.Ct.Process(p, a.Zone, a.Commit, a.NAT)
-			cpu.Consume(sim.User, costmodel.RecirculationOverhead)
+			m.charge(perf.StageActions, costmodel.RecirculationOverhead)
 			p.RecircID = a.RecircID
 			d.Recirculations++
+			if m.trace != nil {
+				m.trace.Recircs++
+			}
 			d.processOne(m, p, depth+1)
 			return
 
 		case ofproto.DPTunnelPush:
-			cpu.Consume(sim.User, costmodel.TunnelEncap)
+			m.charge(perf.StageActions, costmodel.TunnelEncap)
 			outer, err := d.Encapper.Encap(p, a.Tunnel)
 			if err != nil {
 				d.Drops++
@@ -296,12 +347,12 @@ func (d *Datapath) execute(m *PMD, p *packet.Packet, actions []ofproto.DPAction,
 			// the encapsulation; with estimated offload the cost
 			// vanishes (O5's methodology).
 			if !d.Opts.AssumeCsumOffload {
-				cpu.Consume(sim.User, costmodel.ChecksumCost(len(outer.Data)))
+				m.charge(perf.StageActions, costmodel.ChecksumCost(len(outer.Data)))
 			}
 			p = outer
 
 		case ofproto.DPTunnelPop:
-			cpu.Consume(sim.User, costmodel.TunnelDecap)
+			m.charge(perf.StageActions, costmodel.TunnelDecap)
 			inner, wasTunnel, err := tunnel.Decap(p)
 			if err != nil || !wasTunnel {
 				d.Drops++
@@ -310,27 +361,30 @@ func (d *Datapath) execute(m *PMD, p *packet.Packet, actions []ofproto.DPAction,
 			inner.InPort = a.Port
 			inner.RecircID = 0
 			d.Recirculations++
+			if m.trace != nil {
+				m.trace.Recircs++
+			}
 			d.processOne(m, inner, depth+1)
 			return
 
 		case ofproto.DPPushVLAN:
-			cpu.Consume(sim.User, costmodel.ExecActionSimple)
+			m.charge(perf.StageActions, costmodel.ExecActionSimple)
 			p.Data = hdr.PushVLAN(p.Data, a.VLAN, a.VLANPrio)
 		case ofproto.DPPopVLAN:
-			cpu.Consume(sim.User, costmodel.ExecActionSimple)
+			m.charge(perf.StageActions, costmodel.ExecActionSimple)
 			p.Data = hdr.PopVLAN(p.Data)
 		case ofproto.DPSetEthSrc:
-			cpu.Consume(sim.User, costmodel.ExecActionSimple)
+			m.charge(perf.StageActions, costmodel.ExecActionSimple)
 			if len(p.Data) >= 12 {
 				copy(p.Data[6:12], a.MAC[:])
 			}
 		case ofproto.DPSetEthDst:
-			cpu.Consume(sim.User, costmodel.ExecActionSimple)
+			m.charge(perf.StageActions, costmodel.ExecActionSimple)
 			if len(p.Data) >= 6 {
 				copy(p.Data[0:6], a.MAC[:])
 			}
 		case ofproto.DPDecTTL:
-			cpu.Consume(sim.User, costmodel.ExecActionSimple)
+			m.charge(perf.StageActions, costmodel.ExecActionSimple)
 			decTTL(p)
 		case ofproto.DPMeter:
 			if !d.Pipeline.MeterAllow(a.MeterID, len(p.Data), d.Eng.Now()) {
@@ -352,7 +406,7 @@ func (d *Datapath) transmit(m *PMD, out Port, p *packet.Packet) {
 
 	if p.Offloads&packet.CsumPartial != 0 && !caps.TxCsum {
 		if !d.Opts.AssumeCsumOffload {
-			cpu.Consume(sim.User, costmodel.ChecksumCost(len(p.Data)))
+			m.charge(perf.StageActions, costmodel.ChecksumCost(len(p.Data)))
 		}
 		p.Offloads &^= packet.CsumPartial
 		p.Offloads |= packet.CsumVerified
@@ -364,17 +418,21 @@ func (d *Datapath) transmit(m *PMD, out Port, p *packet.Packet) {
 		segs := softwareSegment(p)
 		d.SegmentedPkts++
 		for _, s := range segs {
-			cpu.Consume(sim.User, costmodel.CopyCost(len(s.Data)))
+			m.charge(perf.StageActions, costmodel.CopyCost(len(s.Data)))
 			if s.Offloads&packet.CsumPartial != 0 && !d.Opts.AssumeCsumOffload {
-				cpu.Consume(sim.User, costmodel.ChecksumCost(len(s.Data)))
+				m.charge(perf.StageActions, costmodel.ChecksumCost(len(s.Data)))
 				s.Offloads &^= packet.CsumPartial
 			}
+			txBefore := cpu.BusyTotal()
 			out.Tx(cpu, m.ID, s)
+			m.Perf.Add(perf.StageActions, cpu.BusyTotal()-txBefore)
 		}
 		m.touch(out)
 		return
 	}
+	txBefore := cpu.BusyTotal()
 	out.Tx(cpu, m.ID, p)
+	m.Perf.Add(perf.StageActions, cpu.BusyTotal()-txBefore)
 	m.touch(out)
 }
 

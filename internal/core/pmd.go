@@ -6,6 +6,7 @@ import (
 	"ovsxdp/internal/costmodel"
 	"ovsxdp/internal/dpcls"
 	"ovsxdp/internal/emc"
+	"ovsxdp/internal/perf"
 	"ovsxdp/internal/sim"
 )
 
@@ -63,6 +64,15 @@ type PMD struct {
 	active  bool // has seen work; feeds the contention count
 	touched map[Port]bool
 
+	// Perf is the thread's performance-counter block (dpif-netdev-perf):
+	// virtual cycles bucketed by stage, batch and upcall histograms, and
+	// the optional packet-lifecycle trace. Pure accounting — recording
+	// never perturbs virtual time.
+	Perf *perf.Stats
+	// trace, while non-nil, is the lifecycle record of the depth-0 packet
+	// currently in processOne; lookup and action code fill it in.
+	trace *perf.TraceRecord
+
 	// Stats.
 	Iterations uint64
 	RxPackets  uint64
@@ -87,9 +97,21 @@ func (d *Datapath) NewPMD(mode Mode, cpu *sim.CPU) *PMD {
 		cls:     dpcls.New(uint32(id)*0x79b9 + 7),
 		mode:    mode,
 		touched: make(map[Port]bool),
+		Perf:    perf.NewStats(),
+	}
+	if d.traceDepth > 0 {
+		m.Perf.EnableTrace(d.traceDepth)
 	}
 	d.pmds = append(d.pmds, m)
 	return m
+}
+
+// charge consumes d in the User category on the PMD's CPU and attributes
+// the same amount to a perf stage — the one instrumentation point that
+// keeps counters and virtual time in lockstep.
+func (m *PMD) charge(st perf.Stage, d sim.Time) {
+	m.CPU.Consume(sim.User, d)
+	m.Perf.Add(st, d)
 }
 
 // AssignRxQueue adds a receive queue to this PMD's poll list.
@@ -140,7 +162,7 @@ func (m *PMD) onInterrupt() {
 		return
 	}
 	// Wakeup: context switch into the blocked thread.
-	m.CPU.Consume(sim.User, costmodel.InterruptModeWakeup)
+	m.charge(perf.StageRx, costmodel.InterruptModeWakeup)
 	m.running = true
 	m.dp.Eng.ScheduleAt(m.CPU.FreeAt(), m.iterate)
 }
@@ -152,20 +174,24 @@ func (m *PMD) iterate() {
 		return
 	}
 	m.Iterations++
+	m.Perf.AddIteration()
 	batch := m.dp.Opts.BatchSize
 	work := 0
 	busyBefore := m.CPU.BusyTotal()
 	for _, rxq := range m.rxqs {
+		rxBefore := m.CPU.BusyTotal()
 		pkts := rxq.Port.Rx(m.CPU, rxq.Queue, batch)
+		m.Perf.Add(perf.StageRx, m.CPU.BusyTotal()-rxBefore)
 		if len(pkts) == 0 {
 			continue
 		}
 		work += len(pkts)
 		m.RxPackets += uint64(len(pkts))
+		m.Perf.AddBatch(len(pkts))
 		if m.mode == ModeNonPMD {
 			// The shared thread pays the poll()/wakeup gap around
 			// each batch (Table 2's 0.8 vs 4.8 Mpps).
-			m.CPU.Consume(sim.User, costmodel.NonPMDPollGap)
+			m.charge(perf.StageRx, costmodel.NonPMDPollGap)
 		}
 		for _, p := range pkts {
 			m.dp.processOne(m, p, 0)
@@ -188,10 +214,12 @@ func (m *PMD) iterate() {
 		}
 	}
 	// Flush batched transmissions on every port this iteration touched.
+	flushBefore := m.CPU.BusyTotal()
 	for port := range m.touched {
 		port.Flush(m.CPU, m.ID)
 		delete(m.touched, port)
 	}
+	m.Perf.Add(perf.StageActions, m.CPU.BusyTotal()-flushBefore)
 
 	switch {
 	case m.mode == ModeInterrupt && work == 0:
@@ -200,7 +228,7 @@ func (m *PMD) iterate() {
 		m.armAll()
 	default:
 		if work == 0 {
-			m.CPU.Consume(sim.User, costmodel.PollIdleIteration)
+			m.charge(perf.StageIdle, costmodel.PollIdleIteration)
 			m.IdleTime += costmodel.PollIdleIteration
 		}
 		next := m.CPU.FreeAt()

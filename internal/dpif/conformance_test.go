@@ -9,6 +9,7 @@ import (
 	"ovsxdp/internal/ofproto"
 	"ovsxdp/internal/packet"
 	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/perf"
 	"ovsxdp/internal/sim"
 )
 
@@ -174,6 +175,62 @@ func TestConformance(t *testing.T) {
 		if !reflect.DeepEqual(obs[name], ref) {
 			t.Errorf("provider %q diverges from netdev:\n  %q: %+v\n  netdev: %+v",
 				name, name, obs[name], ref)
+		}
+	}
+}
+
+// TestPerfStatsAcrossProviders checks the perf layer surfaces through every
+// provider with the same packet accounting: the stage split differs (netdev
+// has an EMC, the kernel paths do not), but totals and the upcall count are
+// provider-independent.
+func TestPerfStatsAcrossProviders(t *testing.T) {
+	for _, name := range dpif.Types() {
+		eng := sim.NewEngine(1)
+		pl := forwardPipeline()
+		d, err := dpif.Open(name, dpif.Config{Eng: eng, Pipeline: pl})
+		if err != nil {
+			t.Fatalf("Open(%q): %v", name, err)
+		}
+		for _, id := range []uint32{1, 2} {
+			if err := d.PortAdd(dpif.TxPort{PortID: id, PortName: "p",
+				Deliver: func(*packet.Packet) {}}); err != nil {
+				t.Fatalf("%s: PortAdd: %v", name, err)
+			}
+		}
+		d.EnableTrace(4)
+		for i := 0; i < 8; i++ {
+			d.Execute(scenarioPacket())
+		}
+		eng.RunUntil(eng.Now() + sim.Millisecond)
+
+		threads := d.PerfStats()
+		if len(threads) == 0 {
+			t.Fatalf("%s: no perf threads", name)
+		}
+		var packets, hits, upcalls uint64
+		var busy sim.Time
+		var recs []perf.TraceRecord
+		for _, th := range threads {
+			packets += th.Packets
+			hits += th.EMCHits + th.MegaflowHits
+			upcalls += th.Upcalls
+			busy += th.BusyCycles()
+			recs = append(recs, th.Trace()...)
+		}
+		if packets != 8 || upcalls != 1 || hits != 7 {
+			t.Errorf("%s: packets=%d hits=%d upcalls=%d, want 8/7/1",
+				name, packets, hits, upcalls)
+		}
+		if busy <= 0 {
+			t.Errorf("%s: no busy cycles attributed", name)
+		}
+		if len(recs) != 4 {
+			t.Errorf("%s: %d trace records, want ring of 4", name, len(recs))
+		}
+		for _, r := range recs {
+			if r.InPort != 1 || r.OutPort != 2 || r.Result == perf.ResultNone {
+				t.Errorf("%s: bad lifecycle %+v", name, r)
+			}
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/ofproto"
 	"ovsxdp/internal/packet"
+	"ovsxdp/internal/perf"
 )
 
 // Port is the dpif view of a datapath port: enough identity for the
@@ -113,4 +114,13 @@ type Dpif interface {
 
 	// Stats reports the unified datapath counters.
 	Stats() Stats
+
+	// PerfStats returns one performance-counter block per packet-processing
+	// thread: per-PMD for netdev, the softirq context for netlink/ebpf
+	// (`ovs-appctl dpif-netdev/pmd-perf-show`).
+	PerfStats() []perf.ThreadStats
+
+	// EnableTrace arms packet-lifecycle tracing on every processing thread,
+	// keeping the last n lifecycles per thread; n <= 0 disables it.
+	EnableTrace(n int)
 }

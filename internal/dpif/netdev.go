@@ -6,6 +6,7 @@ import (
 	"ovsxdp/internal/core"
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/packet"
+	"ovsxdp/internal/perf"
 	"ovsxdp/internal/sim"
 )
 
@@ -117,6 +118,19 @@ func (d *Netdev) Stats() Stats {
 		Flows:  d.dp.FlowCount(),
 	}
 }
+
+// PerfStats implements Dpif: one counter block per PMD thread, named after
+// its CPU ("pmd0", "pmd1", ...).
+func (d *Netdev) PerfStats() []perf.ThreadStats {
+	var out []perf.ThreadStats
+	for _, m := range d.dp.PMDs() {
+		out = append(out, perf.ThreadStats{Name: m.CPU.Name(), Stats: m.Perf})
+	}
+	return out
+}
+
+// EnableTrace implements Dpif.
+func (d *Netdev) EnableTrace(n int) { d.dp.EnableTrace(n) }
 
 func (d *Netdev) ensurePMD() {
 	if len(d.dp.PMDs()) == 0 {

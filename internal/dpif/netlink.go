@@ -6,6 +6,7 @@ import (
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/kernelsim"
 	"ovsxdp/internal/packet"
+	"ovsxdp/internal/perf"
 	"ovsxdp/internal/sim"
 )
 
@@ -119,6 +120,16 @@ func (d *Netlink) Execute(p *packet.Packet) {
 
 // SetUpcall implements Dpif.
 func (d *Netlink) SetUpcall(fn UpcallFunc) { d.kdp.SetUpcall(fn) }
+
+// PerfStats implements Dpif: the kernel datapath processes packets in one
+// logical softirq context, so a single block is returned, named after the
+// flavor.
+func (d *Netlink) PerfStats() []perf.ThreadStats {
+	return []perf.ThreadStats{{Name: d.kdp.Flavor.String(), Stats: d.kdp.Perf}}
+}
+
+// EnableTrace implements Dpif.
+func (d *Netlink) EnableTrace(n int) { d.kdp.EnableTrace(n) }
 
 // Stats implements Dpif.
 func (d *Netlink) Stats() Stats {

@@ -33,11 +33,10 @@ type entry[V any] struct {
 // Cache is a fixed-size exact-match cache from flow.Key to V (typically the
 // megaflow entry installed by the classifier).
 type Cache[V any] struct {
-	sets    [][Ways]entry[V]
-	mask    uint32
-	basis   uint32
-	counter uint32 // replacement rotor
-	count   int    // live entries (kept incrementally; Len is O(1))
+	sets  [][Ways]entry[V]
+	mask  uint32
+	basis uint32
+	count int // live entries (kept incrementally; Len is O(1))
 
 	// Stats.
 	Hits      uint64
@@ -93,9 +92,12 @@ func (c *Cache[V]) Insert(key flow.Key, value V) {
 			return
 		}
 	}
-	// Evict: rotate through ways (cheap pseudo-random replacement).
-	c.counter++
-	victim := c.counter % Ways
+	// Evict: the victim way comes from the key's own hash bits above the
+	// set index, OVS's pseudo-random replacement. A cache-global rotor
+	// would make every set evict the same way in lockstep, so two keys
+	// alternating in one set deterministically thrash each other while the
+	// other way's entry never ages out.
+	victim := (key.Hash(c.basis) >> 16) % Ways
 	set[victim] = entry[V]{key: key, value: value, valid: true}
 	c.Evictions++
 }

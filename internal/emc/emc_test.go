@@ -123,6 +123,89 @@ func TestThousandFlowsMostlyFit(t *testing.T) {
 	}
 }
 
+// victimWay reports which way key's hash selects for eviction, mirroring
+// Insert's replacement policy.
+func victimWay(k flow.Key, basis uint32) int {
+	return int((k.Hash(basis) >> 16) % Ways)
+}
+
+// Regression: eviction victims used to come from a single cache-global
+// rotor, so every set evicted the same way in lockstep and an alternating
+// insert pattern deterministically thrashed a hot entry. With hash-derived
+// victims, churn keys that map to one way leave the other way's entry
+// resident.
+func TestEvictionHotEntrySurvivesChurn(t *testing.T) {
+	const basis = 0
+	c := New[int](Ways, basis) // single set: every key collides
+
+	// Find two churn keys whose hash picks the same victim way, and a hot
+	// key + filler to occupy the ways (free ways fill in order 0, 1).
+	var churn []flow.Key
+	w := -1
+	for i := 100; i < 400 && len(churn) < 2; i++ {
+		k := keyN(i)
+		if w == -1 {
+			w = victimWay(k, basis)
+			churn = append(churn, k)
+		} else if victimWay(k, basis) == w {
+			churn = append(churn, k)
+		}
+	}
+	hot := keyN(1)
+	filler := keyN(2)
+	if w == 0 {
+		// Churn evicts way 0: put the filler there, the hot key in way 1.
+		c.Insert(filler, 0)
+		c.Insert(hot, 1)
+	} else {
+		c.Insert(hot, 1)
+		c.Insert(filler, 0)
+	}
+
+	for i := 0; i < 64; i++ {
+		c.Insert(churn[i%2], i)
+	}
+	if _, ok := c.Lookup(hot); !ok {
+		t.Fatal("hot entry thrashed by churn keys that hash to the other way")
+	}
+}
+
+// Eviction victims must spread across both ways rather than always hitting
+// the same one: over many keys, each way should take a healthy share.
+func TestEvictionVictimsSpreadAcrossWays(t *testing.T) {
+	const basis = 0x9e37
+	counts := [Ways]int{}
+	for i := 0; i < 512; i++ {
+		counts[victimWay(keyN(i), basis)]++
+	}
+	for way, n := range counts {
+		if n < 512/(Ways*4) {
+			t.Fatalf("way %d chosen only %d/512 times; victims not spread (counts %v)", way, n, counts)
+		}
+	}
+
+	// And behaviorally: churning one full single-set cache with distinct
+	// keys must, over time, evict occupants of both ways.
+	c := New[int](Ways, basis)
+	c.Insert(keyN(1000), 0) // way 0
+	c.Insert(keyN(1001), 1) // way 1
+	evictedWay := [Ways]bool{}
+	for i := 0; i < 64; i++ {
+		k := keyN(2000 + i)
+		c.Insert(k, i)
+		evictedWay[victimWay(k, basis)] = true
+		if evictedWay[0] && evictedWay[1] {
+			break
+		}
+	}
+	if !evictedWay[0] || !evictedWay[1] {
+		t.Fatalf("64 churn keys never evicted both ways: %v", evictedWay)
+	}
+	if c.Evictions == 0 {
+		t.Fatal("churn must count evictions")
+	}
+}
+
 func TestHitRate(t *testing.T) {
 	c := New[int](64, 0)
 	if c.HitRate() != 0 {

@@ -16,6 +16,11 @@ type Profile struct {
 	Window     sim.Time
 	SearchIter int
 	RRCount    int
+
+	// PerfStages opts into per-stage cycle attribution rows (the perf
+	// layer's counters) in experiments that support them (fig9, table4).
+	// Off by default so measured outputs stay byte-identical.
+	PerfStages bool
 }
 
 // Full is the publication-quality profile.

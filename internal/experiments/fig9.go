@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"ovsxdp/internal/measure"
+	"ovsxdp/internal/perf"
 	"ovsxdp/internal/sim"
 )
 
@@ -18,10 +19,14 @@ func init() {
 	register(Experiment{ID: "table4", Title: "CPU use by category at 1000 flows (Table 4)", Run: runTable4})
 }
 
-// fig9Probe builds a fresh bed per trial.
-func fig9Probe(p Profile, mk func() *Bed) measure.Probe {
+// fig9Probe builds a fresh bed per trial. When last is non-nil it records
+// the most recent bed, so callers can read its perf counters afterwards.
+func fig9Probe(p Profile, mk func() *Bed, last **Bed) measure.Probe {
 	return func(rate float64) measure.ProbeResult {
 		bed := mk()
+		if last != nil {
+			*last = bed
+		}
 		return RunProbe(bed, rate, p.Warmup, p.Window)
 	}
 }
@@ -29,13 +34,33 @@ func fig9Probe(p Profile, mk func() *Bed) measure.Probe {
 type fig9Result struct {
 	rate  float64
 	usage sim.Usage
+	perf  []perf.ThreadStats
+}
+
+// addPerfRows appends the opt-in per-stage attribution: for each processing
+// thread of the case's final probe, the amortized virtual-time cost of every
+// datapath stage (the pmd-perf-show breakdown in experiment-report form).
+func addPerfRows(r *Report, name string, threads []perf.ThreadStats) {
+	for _, t := range threads {
+		for st := perf.StageRx; st < perf.NumStages; st++ {
+			if t.Cycles[st] == 0 {
+				continue
+			}
+			r.Add(name+" "+t.Name+" "+st.String(), t.CyclesPerPacket(st), 0, "ns/pkt")
+		}
+	}
 }
 
 func runP2PCase(p Profile, kind DPKind, flows int, hiPPS float64) fig9Result {
 	cfg := DefaultBed(kind, flows)
-	rate, res := measure.LosslessRate(searchConfig(p, hiPPS),
-		fig9Probe(p, func() *Bed { return NewP2PBed(cfg) }))
-	return fig9Result{rate: rate, usage: res.Usage}
+	var last *Bed
+	rate, res, _ := measure.LosslessRate(searchConfig(p, hiPPS),
+		fig9Probe(p, func() *Bed { return NewP2PBed(cfg) }, &last))
+	out := fig9Result{rate: rate, usage: res.Usage}
+	if p.PerfStages && last != nil {
+		out.perf = last.DP.PerfStats()
+	}
+	return out
 }
 
 func runFig9a(p Profile) *Report {
@@ -57,6 +82,7 @@ func runFig9a(p Profile) *Report {
 		name := c.kind.String() + flowsSuffix(c.flows)
 		r.Add(name, measure.Mpps(res.rate), c.paper, "Mpps")
 		r.Add(name+" cpu", res.usage.Total(), 0, "HT")
+		addPerfRows(r, name, res.perf)
 	}
 	r.AddNote("orderings to hold: dpdk > afxdp > kernel@1flow; kernel@1000 > kernel@1 (RSS)")
 	return r
@@ -65,9 +91,14 @@ func runFig9a(p Profile) *Report {
 func runPVPCase(p Profile, kind DPKind, vd VDevKind, flows int) fig9Result {
 	cfg := DefaultBed(kind, flows)
 	cfg.VDev = vd
-	rate, res := measure.LosslessRate(searchConfig(p, 20e6),
-		fig9Probe(p, func() *Bed { return NewPVPBed(cfg) }))
-	return fig9Result{rate: rate, usage: res.Usage}
+	var last *Bed
+	rate, res, _ := measure.LosslessRate(searchConfig(p, 20e6),
+		fig9Probe(p, func() *Bed { return NewPVPBed(cfg) }, &last))
+	out := fig9Result{rate: rate, usage: res.Usage}
+	if p.PerfStages && last != nil {
+		out.perf = last.DP.PerfStats()
+	}
+	return out
 }
 
 func runFig9b(p Profile) *Report {
@@ -92,6 +123,7 @@ func runFig9b(p Profile) *Report {
 		name := c.kind.String() + "+" + c.vd.String() + flowsSuffix(c.flows)
 		r.Add(name, measure.Mpps(res.rate), c.paper, "Mpps")
 		r.Add(name+" cpu", res.usage.Total(), 0, "HT")
+		addPerfRows(r, name, res.perf)
 	}
 	r.AddNote("orderings: vhostuser > tap everywhere; afxdp+vhost ~ 0.7x dpdk+vhost")
 	return r
@@ -112,11 +144,15 @@ func runFig9c(p Profile) *Report {
 		{PCPDPDK, 1000, 0.9},
 	}
 	for _, c := range cases {
-		rate, res := measure.LosslessRate(searchConfig(p, 20e6),
-			fig9Probe(p, func() *Bed { return NewPCPBed(c.mode, c.flows, 1) }))
+		var last *Bed
+		rate, res, _ := measure.LosslessRate(searchConfig(p, 20e6),
+			fig9Probe(p, func() *Bed { return NewPCPBed(c.mode, c.flows, 1) }, &last))
 		name := c.mode.String() + flowsSuffix(c.flows)
 		r.Add(name, measure.Mpps(rate), c.paper, "Mpps")
 		r.Add(name+" cpu", res.Usage.Total(), 0, "HT")
+		if p.PerfStages && last != nil {
+			addPerfRows(r, name, last.DP.PerfStats())
+		}
 	}
 	r.AddNote("ordering: afxdp (XDP redirect, path C) beats both kernel and dpdk in rate and CPU")
 	return r
@@ -136,18 +172,24 @@ func runTable4(p Profile) *Report {
 	// P2P rows.
 	k := runP2PCase(p, KindKernel, 1000, 40e6)
 	addUsage("P2P kernel", k.usage, 0.1, 9.7, 0, 0.1)
+	addPerfRows(r, "P2P kernel", k.perf)
 	d := runP2PCase(p, KindDPDK, 1000, 40e6)
 	addUsage("P2P dpdk", d.usage, 0, 0, 0, 1.0)
+	addPerfRows(r, "P2P dpdk", d.perf)
 	a := runP2PCase(p, KindAFXDP, 1000, 40e6)
 	addUsage("P2P afxdp", a.usage, 0.1, 1.1, 0, 0.9)
+	addPerfRows(r, "P2P afxdp", a.perf)
 
 	// PVP rows.
 	kv := runPVPCase(p, KindKernel, VDevTap, 1000)
 	addUsage("PVP kernel+tap", kv.usage, 1.2, 6.0, 1.1, 0.2)
+	addPerfRows(r, "PVP kernel+tap", kv.perf)
 	dv := runPVPCase(p, KindDPDK, VDevVhost, 1000)
 	addUsage("PVP dpdk+vhost", dv.usage, 0.9, 0, 1.0, 1.0)
+	addPerfRows(r, "PVP dpdk+vhost", dv.perf)
 	av := runPVPCase(p, KindAFXDP, VDevVhost, 1000)
 	addUsage("PVP afxdp+vhost", av.usage, 0.9, 0.8, 1.0, 1.9)
+	addPerfRows(r, "PVP afxdp+vhost", av.perf)
 
 	// PCP rows.
 	for _, c := range []struct {
@@ -158,9 +200,13 @@ func runTable4(p Profile) *Report {
 		{PCPDPDK, 0.3, 0.5, 0, 0.2},
 		{PCPAFXDPRedir, 0, 1.0, 0, 0},
 	} {
-		_, res := measure.LosslessRate(searchConfig(p, 20e6),
-			fig9Probe(p, func() *Bed { return NewPCPBed(c.mode, 1000, 1) }))
+		var last *Bed
+		_, res, _ := measure.LosslessRate(searchConfig(p, 20e6),
+			fig9Probe(p, func() *Bed { return NewPCPBed(c.mode, 1000, 1) }, &last))
 		addUsage("PCP "+c.mode.String(), res.Usage, c.sys, c.softirq, c.guest, c.user)
+		if p.PerfStages && last != nil {
+			addPerfRows(r, "PCP "+c.mode.String(), last.DP.PerfStats())
+		}
 	}
 	r.AddNote("paper values are Table 4 verbatim; busy-poll PMD threads always report ~1.0 user per thread")
 	return r

@@ -91,7 +91,7 @@ func runTable5(p Profile) *Report {
 			ringDrops := bed.nic.RxDropsTotal() - dropsBefore
 			return measure.ProbeResult{Offered: offered, Delivered: processed, Dropped: ringDrops}
 		}
-		rate, _ := measure.LosslessRate(searchConfig(p, 20e6), probe)
+		rate, _, _ := measure.LosslessRate(searchConfig(p, 20e6), probe)
 		r.Add(task.name, measure.Mpps(rate), task.paper, "Mpps")
 	}
 	r.AddNote("task A's 14 Mpps is 10GbE line rate in the paper; here the search is capped by CPU, not the link")

@@ -8,6 +8,7 @@ import (
 	"ovsxdp/internal/ofproto"
 	"ovsxdp/internal/packet"
 	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/perf"
 	"ovsxdp/internal/sim"
 )
 
@@ -58,6 +59,14 @@ type Datapath struct {
 	// handler (dpif upcall registration).
 	upcall func(flow.Key) (ofproto.Megaflow, error)
 
+	// Perf is the softirq context's performance-counter block, the kernel
+	// counterpart of a PMD's dpif-netdev-perf stats. The kernel path has no
+	// EMC, so StageEMC stays zero and flow-table hits land in StageDpcls.
+	Perf *perf.Stats
+	// trace, while non-nil, is the lifecycle record of the depth-0 packet
+	// currently in process.
+	trace *perf.TraceRecord
+
 	// Stats.
 	Hits    uint64
 	Misses  uint64
@@ -74,6 +83,24 @@ func NewDatapath(eng *sim.Engine, flavor Flavor, pl *ofproto.Pipeline) *Datapath
 		Ct:       conntrack.NewTable(eng),
 		flows:    dpcls.New(0x6b73),
 		Outputs:  make(map[uint32]func(*packet.Packet)),
+		Perf:     perf.NewStats(),
+	}
+}
+
+// EnableTrace arms packet-lifecycle tracing with a ring of n records.
+func (d *Datapath) EnableTrace(n int) { d.Perf.EnableTrace(n) }
+
+// charge consumes c in the given kernel category and attributes the same
+// amount to a perf stage; c must already be flavor/contention scaled.
+func (d *Datapath) charge(cpu *sim.CPU, cat sim.Category, st perf.Stage, c sim.Time) {
+	cpu.Consume(cat, c)
+	d.Perf.Add(st, c)
+}
+
+// traceResolved marks the in-flight trace record's resolution level, once.
+func (d *Datapath) traceResolved(r perf.Result) {
+	if d.trace != nil && d.trace.Result == perf.ResultNone {
+		d.trace.Result = r
 	}
 }
 
@@ -130,8 +157,13 @@ func (d *Datapath) Process(cpu *sim.CPU, p *packet.Packet) {
 	d.process(cpu, p, 0)
 }
 
-// ProcessBatch is the batch form, matching NAPIActor.Handler.
+// ProcessBatch is the batch form, matching NAPIActor.Handler. One batch is
+// the kernel analog of a PMD poll iteration (a NAPI poll).
 func (d *Datapath) ProcessBatch(cpu *sim.CPU, pkts []*packet.Packet) {
+	d.Perf.AddIteration()
+	if len(pkts) > 0 {
+		d.Perf.AddBatch(len(pkts))
+	}
 	for _, p := range pkts {
 		d.Process(cpu, p)
 	}
@@ -144,18 +176,37 @@ func (d *Datapath) process(cpu *sim.CPU, p *packet.Packet, depth int) {
 		d.Drops++
 		return
 	}
-	cpu.Consume(sim.Softirq, d.cost(costmodel.SkbAlloc+costmodel.KernelDriverRx))
+	if depth == 0 {
+		d.Perf.Packets++
+		if tr := d.Perf.Tracer(); tr != nil {
+			start := cpu.FreeAt()
+			if now := d.Eng.Now(); start < now {
+				start = now
+			}
+			rec := perf.TraceRecord{InPort: p.InPort, Start: start}
+			d.trace = &rec
+			defer func() {
+				rec.End = cpu.FreeAt()
+				tr.Add(rec)
+				d.trace = nil
+			}()
+		}
+	}
+	d.charge(cpu, sim.Softirq, perf.StageRx, d.cost(costmodel.SkbAlloc+costmodel.KernelDriverRx))
 
 	key := flow.Extract(p)
-	cpu.Consume(sim.Softirq, d.cost(costmodel.KernelOVSLookup))
+	d.charge(cpu, sim.Softirq, perf.StageDpcls, d.cost(costmodel.KernelOVSLookup))
 	entry, _ := d.flows.Lookup(key)
 	if entry == nil {
 		// Upcall to ovs-vswitchd over netlink: expensive, and the
 		// translation installs a flow for successors.
 		d.Misses++
 		d.Upcalls++
-		cpu.Consume(sim.System, costmodel.UpcallCost)
+		upcallBefore := cpu.BusyTotal()
+		d.charge(cpu, sim.System, perf.StageUpcall, costmodel.UpcallCost)
 		mf, err := d.translate(key)
+		d.Perf.AddUpcall(cpu.BusyTotal() - upcallBefore)
+		d.traceResolved(perf.ResultUpcall)
 		if err != nil {
 			d.Drops++
 			return
@@ -163,6 +214,8 @@ func (d *Datapath) process(cpu *sim.CPU, p *packet.Packet, depth int) {
 		entry = d.InstallFlow(key, mf.Mask, mf.Actions)
 	} else {
 		d.Hits++
+		d.Perf.MegaflowHits++
+		d.traceResolved(perf.ResultMegaflow)
 	}
 
 	actions, _ := entry.Actions.([]ofproto.DPAction)
@@ -177,21 +230,27 @@ func (d *Datapath) execute(cpu *sim.CPU, p *packet.Packet, actions []ofproto.DPA
 	for _, a := range actions {
 		switch a.Type {
 		case ofproto.DPOutput:
-			cpu.Consume(sim.Softirq, d.cost(costmodel.KernelOVSActions+costmodel.KernelDriverTx))
+			d.charge(cpu, sim.Softirq, perf.StageActions, d.cost(costmodel.KernelOVSActions+costmodel.KernelDriverTx))
+			if d.trace != nil {
+				d.trace.OutPort = a.Port
+			}
 			if out, ok := d.Outputs[a.Port]; ok {
 				out(p)
 			} else {
 				d.Drops++
 			}
 		case ofproto.DPCT:
-			cpu.Consume(sim.Softirq, d.cost(costmodel.ConntrackLookup))
+			d.charge(cpu, sim.Softirq, perf.StageActions, d.cost(costmodel.ConntrackLookup))
 			if a.Commit {
-				cpu.Consume(sim.Softirq, d.cost(costmodel.ConntrackCommit-costmodel.ConntrackLookup))
+				d.charge(cpu, sim.Softirq, perf.StageActions, d.cost(costmodel.ConntrackCommit-costmodel.ConntrackLookup))
 			}
 			d.Ct.Process(p, a.Zone, a.Commit, a.NAT)
 			// Recirculate.
-			cpu.Consume(sim.Softirq, d.cost(costmodel.RecirculationOverhead))
+			d.charge(cpu, sim.Softirq, perf.StageActions, d.cost(costmodel.RecirculationOverhead))
 			p.RecircID = a.RecircID
+			if d.trace != nil {
+				d.trace.Recircs++
+			}
 			d.process(cpu, p, depth+1)
 			return
 		case ofproto.DPPushVLAN:
@@ -213,7 +272,7 @@ func (d *Datapath) execute(cpu *sim.CPU, p *packet.Packet, actions []ofproto.DPA
 			// packet grows by the overhead; the full byte-level
 			// encap lives in the userspace datapath (package
 			// core), which is the system under study.
-			cpu.Consume(sim.Softirq, d.cost(costmodel.TunnelEncap))
+			d.charge(cpu, sim.Softirq, perf.StageActions, d.cost(costmodel.TunnelEncap))
 		case ofproto.DPMeter:
 			if !d.Pipeline.MeterAllow(a.MeterID, len(p.Data), d.Eng.Now()) {
 				d.Drops++

@@ -48,35 +48,48 @@ func DefaultSearch() SearchConfig {
 }
 
 // LosslessRate bisects to the maximum rate the system sustains without
-// loss, returning that rate and the trial measured at it.
-func LosslessRate(cfg SearchConfig, probe Probe) (float64, ProbeResult) {
+// loss. It returns that rate, the trial measured at it, and whether any
+// rate in the bracket was sustainable; when found is false the rate is 0
+// and the trial is the failed probe closest to the floor (so callers still
+// see what the system did, without mistaking it for a lossless point).
+func LosslessRate(cfg SearchConfig, probe Probe) (rate float64, res ProbeResult, found bool) {
 	lo, hi := cfg.LoPPS, cfg.HiPPS
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 12
 	}
 	// Quick accept: the whole bracket may be sustainable.
-	best := probe(hi)
-	if best.LossFraction() <= cfg.LossTolerance && best.Delivered > 0 {
-		return hi, best
+	hiRes := probe(hi)
+	if hiRes.LossFraction() <= cfg.LossTolerance && hiRes.Delivered > 0 {
+		return hi, hiRes, true
+	}
+	// The failed probe is not wasted: its loss fraction bounds the
+	// sustainable rate at roughly hi*(1-loss), so shrink the bracket to
+	// that (plus headroom) before bisecting.
+	lastFail := hiRes
+	if f := hiRes.LossFraction(); f > 0 {
+		if bound := hi * (1 - f) * 1.1; bound > lo && bound < hi {
+			hi = bound
+		}
 	}
 	var bestRate float64
 	var bestRes ProbeResult
-	ok := false
 	for i := 0; i < cfg.Iterations; i++ {
 		mid := (lo + hi) / 2
-		res := probe(mid)
-		if res.LossFraction() <= cfg.LossTolerance && res.Delivered > 0 {
-			bestRate, bestRes, ok = mid, res, true
+		r := probe(mid)
+		if r.LossFraction() <= cfg.LossTolerance && r.Delivered > 0 {
+			bestRate, bestRes, found = mid, r, true
 			lo = mid
 		} else {
+			lastFail = r
 			hi = mid
 		}
 	}
-	if !ok {
-		// Nothing sustainable in the bracket; report the floor trial.
-		return cfg.LoPPS, probe(cfg.LoPPS)
+	if !found {
+		// Nothing sustainable in the bracket: report the lowest failed
+		// trial rather than pretending the floor was lossless.
+		return 0, lastFail, false
 	}
-	return bestRate, bestRes
+	return bestRate, bestRes, true
 }
 
 // Mpps formats packets/s as the paper's Mpps.

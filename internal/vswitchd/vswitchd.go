@@ -15,6 +15,7 @@ import (
 	"ovsxdp/internal/ofproto"
 	"ovsxdp/internal/openflow"
 	"ovsxdp/internal/ovsdb"
+	"ovsxdp/internal/perf"
 )
 
 // PortFactory builds a datapath port for an Interface row. The experiment
@@ -72,6 +73,18 @@ func New(db *ovsdb.Server, pl *ofproto.Pipeline, dp dpif.Dpif) *VSwitchd {
 		db.OnChange = v.onDBChange
 	}
 	return v
+}
+
+// PmdPerfShow renders the datapath's per-thread performance counters — the
+// `ovs-appctl dpif-netdev/pmd-perf-show` endpoint.
+func (v *VSwitchd) PmdPerfShow() string {
+	return perf.FormatTable(v.Datapath.PerfStats())
+}
+
+// PmdPerfTrace renders captured packet lifecycles; call EnableTrace on the
+// datapath first (the `ovs-appctl` trace analog).
+func (v *VSwitchd) PmdPerfTrace() string {
+	return perf.FormatTrace(v.Datapath.PerfStats())
 }
 
 // Bridges returns the bridge names.
