@@ -23,6 +23,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use shortened measurement windows")
 	perfStages := flag.Bool("perf", false, "add per-stage cycle attribution rows (fig9, table4)")
+	scenario := flag.String("scenario", "", "run a robustness scenario instead of an experiment (e.g. restart)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -31,6 +32,22 @@ func main() {
 		profile = experiments.Quick
 	}
 	profile.PerfStages = *perfStages
+
+	if *scenario != "" {
+		s, ok := experiments.GetScenario(*scenario)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ovsbench: unknown scenario %q; have:\n", *scenario)
+			for _, s := range experiments.Scenarios() {
+				fmt.Fprintf(os.Stderr, "  %-8s %s\n", s.ID, s.Title)
+			}
+			os.Exit(1)
+		}
+		start := time.Now()
+		rep := s.Run(profile)
+		fmt.Print(rep)
+		fmt.Printf("  (%s in %.1fs)\n", s.ID, time.Since(start).Seconds())
+		return
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -41,6 +58,9 @@ func main() {
 	if args[0] == "list" {
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		for _, s := range experiments.Scenarios() {
+			fmt.Printf("  %-8s %s (scenario; run with -scenario %s)\n", s.ID, s.Title, s.ID)
 		}
 		return
 	}
@@ -75,9 +95,11 @@ func usage() {
 
 usage:
   ovsbench [-quick] [-perf] list | all | <experiment>...
+  ovsbench [-quick] -scenario <scenario>
 
 experiments: fig1 fig2 fig8a fig8b fig8c fig9a fig9b fig9c fig10 fig11 fig12
              table1 table2 table3 table4 table5
+scenarios:   restart
 `)
 	flag.PrintDefaults()
 }

@@ -16,6 +16,13 @@
 //	ovsctl [-datapath ...] dpctl-stats    # datapath counters (ovs-dpctl show)
 //	ovsctl [-datapath ...] pmd-perf-show  # per-thread stage cycles (dpif-netdev/pmd-perf-show)
 //	ovsctl [-datapath ...] pmd-perf-trace # last packet lifecycles through the fast path
+//	ovsctl [-datapath ...] fault-demo     # bounded upcall queue + injected slow-path fault
+//
+// The -upcall-queue and -upcall-svc-ns flags bound the slow path on any
+// subcommand: with a nonzero queue cap, flow-table misses park packets in a
+// bounded per-thread queue serviced at the given interval, and overflow is
+// counted as queue drops (the kernel's ENOBUFS analog) instead of growing
+// without limit.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 
 	"ovsxdp/internal/core"
 	"ovsxdp/internal/dpif"
+	"ovsxdp/internal/faultinject"
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/nicsim"
 	"ovsxdp/internal/ofproto"
@@ -40,29 +48,38 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ovsctl [-datapath %v] demo|show|dump-flows|dpctl-stats|pmd-perf-show|pmd-perf-trace\n",
+	fmt.Fprintf(os.Stderr, "usage: ovsctl [-datapath %v] [-upcall-queue N] [-upcall-svc-ns N] demo|show|dump-flows|dpctl-stats|pmd-perf-show|pmd-perf-trace|fault-demo\n",
 		dpif.Types())
 }
 
 func main() {
 	dpType := flag.String("datapath", "netdev", "dpif provider type")
+	upcallQueue := flag.Int("upcall-queue", 0, "bounded upcall queue capacity (0 = legacy unbounded inline upcalls)")
+	upcallSvcNs := flag.Int64("upcall-svc-ns", 0, "upcall handler service interval in virtual ns (0 = default)")
 	flag.Usage = usage
 	flag.Parse()
+
+	uc := dpif.UpcallConfig{
+		QueueCap:        *upcallQueue,
+		ServiceInterval: sim.Time(*upcallSvcNs),
+	}
 
 	var err error
 	switch flag.Arg(0) {
 	case "demo":
-		err = demo(*dpType)
+		err = demo(*dpType, uc)
 	case "show":
-		err = show(*dpType)
+		err = show(*dpType, uc)
 	case "dump-flows":
-		err = dumpFlows(*dpType)
+		err = dumpFlows(*dpType, uc)
 	case "dpctl-stats":
-		err = dpctlStats(*dpType)
+		err = dpctlStats(*dpType, uc)
 	case "pmd-perf-show":
-		err = pmdPerfShow(*dpType)
+		err = pmdPerfShow(*dpType, uc)
 	case "pmd-perf-trace":
-		err = pmdPerfTrace(*dpType)
+		err = pmdPerfTrace(*dpType, uc)
+	case "fault-demo":
+		err = faultDemo(*dpType, uc)
 	default:
 		usage()
 		os.Exit(2)
@@ -82,10 +99,10 @@ type env struct {
 	daemon *vswitchd.VSwitchd
 }
 
-func newEnv(dpType string) (*env, error) {
+func newEnv(dpType string, uc dpif.UpcallConfig) (*env, error) {
 	eng := sim.NewEngine(1)
 	pl := ofproto.NewPipeline()
-	d, err := dpif.Open(dpType, dpif.Config{Eng: eng, Pipeline: pl})
+	d, err := dpif.Open(dpType, dpif.Config{Eng: eng, Pipeline: pl, Upcall: uc})
 	if err != nil {
 		return nil, err
 	}
@@ -160,8 +177,8 @@ func (e *env) inject(n int) {
 
 // show prints the ovs-vsctl show analog: bridges, their ports, and the
 // datapath type behind them.
-func show(dpType string) error {
-	e, err := newEnv(dpType)
+func show(dpType string, uc dpif.UpcallConfig) error {
+	e, err := newEnv(dpType, uc)
 	if err != nil {
 		return err
 	}
@@ -186,8 +203,8 @@ func show(dpType string) error {
 
 // dumpFlows prints the installed megaflows after injecting traffic — the
 // ovs-appctl dpctl/dump-flows analog.
-func dumpFlows(dpType string) error {
-	e, err := newEnv(dpType)
+func dumpFlows(dpType string, uc dpif.UpcallConfig) error {
+	e, err := newEnv(dpType, uc)
 	if err != nil {
 		return err
 	}
@@ -210,8 +227,8 @@ func dumpFlows(dpType string) error {
 
 // dpctlStats prints the unified datapath counters — the ovs-dpctl show
 // analog (lookups hit/missed/lost plus the megaflow count).
-func dpctlStats(dpType string) error {
-	e, err := newEnv(dpType)
+func dpctlStats(dpType string, uc dpif.UpcallConfig) error {
+	e, err := newEnv(dpType, uc)
 	if err != nil {
 		return err
 	}
@@ -222,16 +239,68 @@ func dpctlStats(dpType string) error {
 	st := e.dp.Stats()
 	fmt.Printf("%s@br-int:\n", e.dp.Type())
 	fmt.Printf("  lookups: hit:%d missed:%d lost:%d\n", st.Hits, st.Missed, st.Lost)
+	fmt.Printf("  slow path: processed:%d queue-drops:%d malformed:%d\n",
+		st.Processed, st.UpcallQueueDrops, st.MalformedDrops)
 	fmt.Printf("  flows: %d\n", st.Flows)
 	fmt.Printf("  ports: %d\n", e.dp.PortCount())
+	return nil
+}
+
+// faultDemo bounds the upcall queue, injects a transient slow-path fault
+// window, and drives traffic through it: the first misses park in the
+// bounded queue, the overflow is dropped and counted (ENOBUFS analog), the
+// handler's failed translations retry with exponential backoff, and once
+// the fault window closes the flow installs and traffic cuts through.
+func faultDemo(dpType string, uc dpif.UpcallConfig) error {
+	if uc.QueueCap == 0 {
+		uc = dpif.UpcallConfig{QueueCap: 4, ServiceInterval: 20 * sim.Microsecond,
+			RetryBase: 25 * sim.Microsecond, MaxRetries: 3}
+	}
+	e, err := newEnv(dpType, uc)
+	if err != nil {
+		return err
+	}
+	if err := e.configure(); err != nil {
+		return err
+	}
+
+	inj := faultinject.New(e.eng)
+	gate := inj.Gate(faultinject.KindUpcallFailure, "upcall")
+	translate := e.daemon.Pipeline.Translate
+	e.dp.SetUpcall(func(key flow.Key) (ofproto.Megaflow, error) {
+		if gate() {
+			return ofproto.Megaflow{}, inj.Err(faultinject.KindUpcallFailure, "upcall")
+		}
+		return translate(key)
+	})
+	// The slow path is down for the first 200us of virtual time.
+	inj.Window(faultinject.KindUpcallFailure, "upcall", 0, 200*sim.Microsecond, nil)
+
+	e.inject(16)
+
+	st := e.dp.Stats()
+	fmt.Printf("%s@br-int after 16 packets through a 200us slow-path outage:\n", e.dp.Type())
+	fmt.Printf("  lookups: hit:%d missed:%d lost:%d\n", st.Hits, st.Missed, st.Lost)
+	fmt.Printf("  slow path: processed:%d queue-drops:%d malformed:%d\n",
+		st.Processed, st.UpcallQueueDrops, st.MalformedDrops)
+	var retries uint64
+	switch v := e.dp.(type) {
+	case *dpif.Netdev:
+		retries = v.Datapath().UpcallRetries
+	case *dpif.Netlink:
+		retries = v.Kernel().UpcallRetries
+	}
+	fmt.Printf("  upcall retries (exponential backoff): %d\n", retries)
+	fmt.Printf("  flows: %d\n", st.Flows)
+	fmt.Print(inj.Report())
 	return nil
 }
 
 // pmdPerfShow prints the per-thread performance counters after injecting
 // traffic — the ovs-appctl dpif-netdev/pmd-perf-show analog: cycles per
 // stage, packets-per-batch mean, upcall latency percentiles.
-func pmdPerfShow(dpType string) error {
-	e, err := newEnv(dpType)
+func pmdPerfShow(dpType string, uc dpif.UpcallConfig) error {
+	e, err := newEnv(dpType, uc)
 	if err != nil {
 		return err
 	}
@@ -245,8 +314,8 @@ func pmdPerfShow(dpType string) error {
 
 // pmdPerfTrace arms lifecycle tracing, injects traffic, and prints the
 // retained packet lifecycles (portin -> cache level -> portout, virtual time).
-func pmdPerfTrace(dpType string) error {
-	e, err := newEnv(dpType)
+func pmdPerfTrace(dpType string, uc dpif.UpcallConfig) error {
+	e, err := newEnv(dpType, uc)
 	if err != nil {
 		return err
 	}
@@ -259,9 +328,9 @@ func pmdPerfTrace(dpType string) error {
 	return nil
 }
 
-func demo(dpType string) error {
+func demo(dpType string, uc dpif.UpcallConfig) error {
 	// --- the switch side ---------------------------------------------------
-	e, err := newEnv(dpType)
+	e, err := newEnv(dpType, uc)
 	if err != nil {
 		return err
 	}

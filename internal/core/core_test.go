@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"ovsxdp/internal/afxdp"
@@ -608,5 +609,56 @@ func TestPerQueueSteeringSeparatesManagementTraffic(t *testing.T) {
 	}
 	if toStack != 20 || toXsk != 20 {
 		t.Fatalf("stack=%d xsk=%d, want 20/20 split", toStack, toXsk)
+	}
+}
+
+// TestNegativeFlowOnUpcallError: a failed upcall installs a short-lived
+// drop megaflow so follow-up packets of the failing flow drop in the fast
+// path instead of re-upcalling; the entry self-expires after its TTL and
+// the flow gets a fresh upcall.
+func TestNegativeFlowOnUpcallError(t *testing.T) {
+	eng := sim.NewEngine(1)
+	dp := NewDatapath(eng, forwardPipeline(), DefaultOptions())
+	dp.SetUpcall(func(flow.Key) (ofproto.Megaflow, error) {
+		return ofproto.Megaflow{}, errors.New("slow path down")
+	})
+
+	send := func() {
+		p := udpPkt(1000)
+		p.InPort = 1
+		dp.Execute(p)
+	}
+	send()
+	if dp.Upcalls != 1 || dp.UpcallErrors != 1 || dp.Drops != 1 {
+		t.Fatalf("after failed upcall: upcalls=%d errors=%d drops=%d, want 1/1/1",
+			dp.Upcalls, dp.UpcallErrors, dp.Drops)
+	}
+	if dp.FlowCount() != 1 {
+		t.Fatalf("negative flow not installed: flows=%d", dp.FlowCount())
+	}
+
+	// Follow-up packets drop against the negative flow without upcalling:
+	// the first through the classifier (and into the EMC), the second from
+	// the EMC.
+	send()
+	send()
+	if dp.Upcalls != 1 || dp.Drops != 3 {
+		t.Fatalf("negative flow not shielding: upcalls=%d drops=%d, want 1/3",
+			dp.Upcalls, dp.Drops)
+	}
+	if dp.MegaflowHits != 1 || dp.EMCHits != 1 {
+		t.Fatalf("negative flow hits: megaflow=%d emc=%d, want 1/1",
+			dp.MegaflowHits, dp.EMCHits)
+	}
+
+	// The entry self-expires (and the EMC is flushed with it), so the flow
+	// re-upcalls.
+	eng.RunUntil(eng.Now() + dp.Opts.NegativeFlowTTL + sim.Millisecond)
+	if dp.FlowCount() != 0 {
+		t.Fatalf("negative flow outlived its TTL: flows=%d", dp.FlowCount())
+	}
+	send()
+	if dp.Upcalls != 2 {
+		t.Fatalf("expired negative flow must re-upcall: upcalls=%d, want 2", dp.Upcalls)
 	}
 }

@@ -64,6 +64,25 @@ type Options struct {
 	// scaling; the experiment beds set the per-datapath calibrated
 	// values for Figure 12.
 	ContentionCentis int
+	// UpcallQueueCap bounds the per-PMD queue of packets awaiting
+	// slow-path translation — the netdev analog of the kernel's bounded
+	// per-port netlink queues (ENOBUFS). Zero keeps the legacy inline
+	// upcall on the PMD thread.
+	UpcallQueueCap int
+	// UpcallServiceInterval is the handler thread's per-upcall service
+	// time when the queue is bounded (its service rate is the inverse);
+	// zero defaults to costmodel.UpcallCost.
+	UpcallServiceInterval sim.Time
+	// UpcallRetryBase seeds the exponential backoff applied when
+	// translation fails transiently; zero defaults to UpcallCost/4.
+	UpcallRetryBase sim.Time
+	// UpcallMaxRetries bounds backoff retries of one transient upcall;
+	// zero defaults to 3.
+	UpcallMaxRetries int
+	// NegativeFlowTTL is the lifetime of the drop megaflow installed when
+	// an upcall fails for good, shielding the slow path from the failing
+	// flow; <= 0 disables the negative flow.
+	NegativeFlowTTL sim.Time
 }
 
 // DefaultOptions returns the fully-optimized configuration (all of
@@ -75,6 +94,7 @@ func DefaultOptions() Options {
 		AssumeCsumOffload: false,
 		BatchSize:         costmodel.BatchSize,
 		ColdFlowThreshold: 512,
+		NegativeFlowTTL:   costmodel.NegativeFlowTTL,
 	}
 }
 
@@ -101,6 +121,10 @@ type Datapath struct {
 	// handler (dpif upcall registration).
 	upcall func(flow.Key) (ofproto.Megaflow, error)
 
+	// handler is the shared upcall-handler thread CPU, created lazily when
+	// the bounded upcall queue is in force.
+	handler *sim.CPU
+
 	// Stats.
 	Processed      uint64
 	EMCHits        uint64
@@ -111,6 +135,14 @@ type Datapath struct {
 	Recirculations uint64
 	MeterDrops     uint64
 	SegmentedPkts  uint64
+	// UpcallQueueDrops counts packets refused because a PMD's bounded
+	// upcall queue was full (the ENOBUFS analog); they are not in Drops.
+	UpcallQueueDrops uint64
+	// UpcallRetries counts backoff retries of transient upcall failures.
+	UpcallRetries uint64
+	// MalformedDrops counts slow-path parse failures, split from policy
+	// drops (the kernel flow extractor's EINVAL analog).
+	MalformedDrops uint64
 }
 
 // NewDatapath builds a datapath over a pipeline.
@@ -183,6 +215,56 @@ func (d *Datapath) translate(key flow.Key) (ofproto.Megaflow, error) {
 	return d.Pipeline.Translate(key)
 }
 
+// upcallInterval is the bounded handler's per-upcall service time.
+func (d *Datapath) upcallInterval() sim.Time {
+	if d.Opts.UpcallServiceInterval > 0 {
+		return d.Opts.UpcallServiceInterval
+	}
+	return costmodel.UpcallCost
+}
+
+// retryBase seeds the exponential backoff for transient upcall failures.
+func (d *Datapath) retryBase() sim.Time {
+	if d.Opts.UpcallRetryBase > 0 {
+		return d.Opts.UpcallRetryBase
+	}
+	return costmodel.UpcallCost / 4
+}
+
+// maxUpcallRetries bounds backoff retries of one transient upcall.
+func (d *Datapath) maxUpcallRetries() int {
+	if d.Opts.UpcallMaxRetries > 0 {
+		return d.Opts.UpcallMaxRetries
+	}
+	return 3
+}
+
+// handlerCPU lazily creates the shared upcall-handler thread.
+func (d *Datapath) handlerCPU() *sim.CPU {
+	if d.handler == nil {
+		d.handler = d.Eng.NewCPU("upcall-handler")
+	}
+	return d.handler
+}
+
+// installNegativeFlow installs a short-lived drop megaflow after a failed
+// upcall, so subsequent packets of the failing flow drop in the fast path
+// instead of re-upcalling (and re-failing) at full cost. The entry
+// self-expires after NegativeFlowTTL, giving the flow a fresh chance once
+// the slow path recovers.
+func (d *Datapath) installNegativeFlow(m *PMD, key flow.Key) {
+	ttl := d.Opts.NegativeFlowTTL
+	if ttl <= 0 {
+		return
+	}
+	e := m.cls.Insert(key, flow.MaskAll(), nil)
+	d.Eng.Schedule(ttl, func() {
+		if m.cls.Remove(e) {
+			m.FlushEMC()
+		}
+	})
+}
+
 // Execute runs one packet through the fast path as if it had arrived on
 // p.InPort, on the first PMD (creating an unstarted one when the datapath
 // has no threads yet) — the dpif execute analog.
@@ -200,14 +282,24 @@ const maxRecircDepth = 8
 // hot loop: metadata, key extraction, EMC, megaflow classifier, upcall,
 // action execution.
 func (d *Datapath) processOne(m *PMD, p *packet.Packet, depth int) {
+	d.processCounted(m, p, depth, true)
+}
+
+// processCounted is processOne with the admission accounting gated: packets
+// reinjected after a queued upcall resolves (count=false) were already
+// counted at admission, so Processed and the per-thread packet/trace
+// accounting must not double-count them.
+func (d *Datapath) processCounted(m *PMD, p *packet.Packet, depth int, count bool) {
 	if depth > maxRecircDepth {
 		d.Drops++
 		return
 	}
-	d.Processed++
+	if count {
+		d.Processed++
+	}
 	cpu := m.CPU
 
-	if depth == 0 {
+	if depth == 0 && count {
 		m.Perf.Packets++
 		if tr := m.Perf.Tracer(); tr != nil {
 			start := cpu.FreeAt()
@@ -266,8 +358,34 @@ func (d *Datapath) processOne(m *PMD, p *packet.Packet, depth int) {
 		e, probes := m.cls.Lookup(key)
 		m.charge(perf.StageDpcls, sim.Time(probes)*costmodel.DpclsLookupPerSubtable)
 		if e == nil {
-			// Upcall: inline slow-path translation on this PMD.
+			// Genuine parse failures are split from policy drops before
+			// any slow-path resource is consumed (the kernel flow
+			// extractor returns EINVAL, not an upcall).
+			if flow.Malformed(p) {
+				d.MalformedDrops++
+				return
+			}
 			d.Upcalls++
+			if d.Opts.UpcallQueueCap > 0 {
+				// Bounded upcall queue: park the packet for the handler
+				// thread, or drop when full (ENOBUFS analog). Misses are
+				// counted above even when the queue refuses the packet,
+				// matching the kernel's lookup accounting.
+				m.traceResolved(perf.ResultUpcall)
+				if len(m.upcallQ) >= d.Opts.UpcallQueueCap {
+					d.UpcallQueueDrops++
+					m.Perf.UpcallQueueDrops++
+					return
+				}
+				m.upcallQ = append(m.upcallQ,
+					&pendingUpcall{key: key, pkt: p, enq: d.Eng.Now()})
+				if n := uint64(len(m.upcallQ)); n > m.Perf.UpcallQueuePeak {
+					m.Perf.UpcallQueuePeak = n
+				}
+				m.kickUpcalls()
+				return
+			}
+			// Legacy path: inline slow-path translation on this PMD.
 			upcallBefore := cpu.BusyTotal()
 			m.charge(perf.StageUpcall, costmodel.UpcallCost)
 			mf, err := d.translate(key)
@@ -276,6 +394,7 @@ func (d *Datapath) processOne(m *PMD, p *packet.Packet, depth int) {
 			if err != nil {
 				d.UpcallErrors++
 				d.Drops++
+				d.installNegativeFlow(m, key)
 				return
 			}
 			e = m.cls.Insert(key, mf.Mask, mf.Actions)

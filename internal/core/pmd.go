@@ -6,6 +6,9 @@ import (
 	"ovsxdp/internal/costmodel"
 	"ovsxdp/internal/dpcls"
 	"ovsxdp/internal/emc"
+	"ovsxdp/internal/faultinject"
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/packet"
 	"ovsxdp/internal/perf"
 	"ovsxdp/internal/sim"
 )
@@ -63,6 +66,12 @@ type PMD struct {
 	stopped bool
 	active  bool // has seen work; feeds the contention count
 	touched map[Port]bool
+
+	// upcallQ parks packets awaiting slow-path translation when
+	// Options.UpcallQueueCap bounds the queue; upcallBusy is set while a
+	// handler service event is in flight.
+	upcallQ    []*pendingUpcall
+	upcallBusy bool
 
 	// Perf is the thread's performance-counter block (dpif-netdev-perf):
 	// virtual cycles bucketed by stage, batch and upcall histograms, and
@@ -240,3 +249,71 @@ func (m *PMD) iterate() {
 }
 
 func (m *PMD) touch(p Port) { m.touched[p] = true }
+
+// pendingUpcall is one packet parked in a PMD's bounded upcall queue.
+type pendingUpcall struct {
+	key     flow.Key
+	pkt     *packet.Packet
+	enq     sim.Time // admission time, for upcall latency accounting
+	attempt int      // backoff retries consumed so far
+}
+
+// kickUpcalls schedules the next queued upcall for service one handler
+// service interval from now — the configurable handler service rate that
+// makes the queue a real M/D/1-style bottleneck instead of an inline call.
+func (m *PMD) kickUpcalls() {
+	if m.upcallBusy || len(m.upcallQ) == 0 {
+		return
+	}
+	m.upcallBusy = true
+	m.dp.Eng.Schedule(m.dp.upcallInterval(), m.serviceUpcall)
+}
+
+// serviceUpcall handles one parked upcall on the handler thread: translate
+// (retrying transient faults with exponential backoff in virtual time),
+// install the megaflow or a negative flow, and reinject the parked packet
+// through the fast path.
+func (m *PMD) serviceUpcall() {
+	m.upcallBusy = false
+	if len(m.upcallQ) == 0 {
+		return
+	}
+	d := m.dp
+	u := m.upcallQ[0]
+	m.upcallQ = m.upcallQ[1:]
+	defer m.kickUpcalls()
+
+	// Several packets of one flow may park before the first resolves:
+	// dedup against the classifier so only one translation happens.
+	if e, _ := m.cls.Lookup(u.key); e != nil {
+		d.processCounted(m, u.pkt, 0, false)
+		return
+	}
+
+	cpu := d.handlerCPU()
+	cpu.Consume(sim.User, costmodel.UpcallCost)
+	m.Perf.Add(perf.StageUpcall, costmodel.UpcallCost)
+	mf, err := d.translate(u.key)
+	if err != nil {
+		if te, ok := err.(interface{ Transient() bool }); ok && te.Transient() &&
+			u.attempt < d.maxUpcallRetries() {
+			u.attempt++
+			d.UpcallRetries++
+			delay := faultinject.Backoff(d.Eng.Rand(), d.retryBase(), u.attempt)
+			d.Eng.Schedule(delay, func() {
+				// Retries bypass the cap: the packet was admitted once.
+				m.upcallQ = append(m.upcallQ, u)
+				m.kickUpcalls()
+			})
+			return
+		}
+		d.UpcallErrors++
+		d.Drops++
+		m.Perf.AddUpcall(d.Eng.Now() - u.enq)
+		d.installNegativeFlow(m, u.key)
+		return
+	}
+	m.cls.Insert(u.key, mf.Mask, mf.Actions)
+	m.Perf.AddUpcall(d.Eng.Now() - u.enq)
+	d.processCounted(m, u.pkt, 0, false)
+}

@@ -15,6 +15,7 @@ import (
 
 	"ovsxdp/internal/afxdp"
 	"ovsxdp/internal/costmodel"
+	"ovsxdp/internal/faultinject"
 	"ovsxdp/internal/kernelsim"
 	"ovsxdp/internal/nicsim"
 	"ovsxdp/internal/packet"
@@ -95,6 +96,9 @@ type AFXDPPort struct {
 
 	// TxDrops counts packets lost to a full tx ring.
 	TxDrops uint64
+	// TxStallRetries counts kernel tx drains rescheduled with backoff
+	// because an injected XSK ring stall was active.
+	TxStallRetries uint64
 }
 
 // NewAFXDPPort builds the port and starts its softirq driver actors. The
@@ -326,15 +330,35 @@ func (p *AFXDPPort) Flush(cpu *sim.CPU, txq int) {
 	if xsk.Kick() {
 		cpu.Consume(sim.System, costmodel.AFXDPTxKickSyscall)
 	}
+	p.eng.Schedule(0, func() { p.drainTx(q, 0) })
+}
+
+// maxTxStallRetries bounds the backoff retries of one stalled tx drain; at
+// the default base the last retry lands ~80ms out, far beyond any injected
+// stall window.
+const maxTxStallRetries = 12
+
+// drainTx runs the kernel-side tx drain for queue q. An injected XSK ring
+// stall (transient fault) does not lose the drain: it is rescheduled with
+// exponential backoff until the stall clears or the retry budget runs out.
+func (p *AFXDPPort) drainTx(q, attempt int) {
+	xsk := p.xsks[q]
+	if xsk.Stalled() {
+		if attempt >= maxTxStallRetries {
+			return
+		}
+		p.TxStallRetries++
+		delay := faultinject.Backoff(p.eng.Rand(), 20*sim.Microsecond, attempt+1)
+		p.eng.Schedule(delay, func() { p.drainTx(q, attempt+1) })
+		return
+	}
 	scpu := p.softirq[q]
-	p.eng.Schedule(0, func() {
-		n := xsk.KernelDrainTx(afxdp.DefaultRingSize, func(frame []byte) {
-			out := packet.New(append([]byte(nil), frame...))
-			p.nic.Transmit(out)
-		})
-		scpu.Consume(sim.Softirq, sim.Time(n)*costmodel.AFXDPTxKernelDrain)
-		xsk.ReclaimCompletions(p.pool, n)
+	n := xsk.KernelDrainTx(afxdp.DefaultRingSize, func(frame []byte) {
+		out := packet.New(append([]byte(nil), frame...))
+		p.nic.Transmit(out)
 	})
+	scpu.Consume(sim.Softirq, sim.Time(n)*costmodel.AFXDPTxKernelDrain)
+	xsk.ReclaimCompletions(p.pool, n)
 }
 
 // Arm implements Port for interrupt-mode receive.

@@ -359,6 +359,29 @@ const (
 )
 
 // ---------------------------------------------------------------------------
+// Robustness: restart/upgrade gaps and slow-path degradation (the paper's
+// deployment-experience argument for the userspace datapath).
+// ---------------------------------------------------------------------------
+const (
+	// VswitchdRestartGap is how long the userspace datapath is down across
+	// a vswitchd restart/upgrade: the process re-execs, re-opens its AF_XDP
+	// sockets, and resumes polling. No kernel module is involved, so the
+	// NIC keeps DMA-ing into the still-mapped umem rings meanwhile.
+	VswitchdRestartGap sim.Time = 500 * sim.Microsecond
+
+	// KernelModuleReloadGap is the equivalent gap for the kernel datapath:
+	// openvswitch.ko must be unloaded and reloaded, tearing down the
+	// datapath ports and their queues for the duration.
+	KernelModuleReloadGap sim.Time = 5 * sim.Millisecond
+
+	// NegativeFlowTTL is the lifetime of the short-lived drop megaflow
+	// installed when slow-path translation fails, so subsequent packets of
+	// the failing flow drop in the fast path instead of re-upcalling at
+	// full cost.
+	NegativeFlowTTL sim.Time = 10 * sim.Millisecond
+)
+
+// ---------------------------------------------------------------------------
 // Latency-experiment fixed terms and jitter (Figures 10 and 11).
 // ---------------------------------------------------------------------------
 const (

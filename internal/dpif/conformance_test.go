@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ovsxdp/internal/dpif"
+	"ovsxdp/internal/faultinject"
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/ofproto"
 	"ovsxdp/internal/packet"
@@ -158,7 +159,7 @@ func TestConformance(t *testing.T) {
 
 	// Spot-check the absolute numbers once (they are provider-independent).
 	ref := obs["netdev"]
-	if want := (dpif.Stats{Hits: 7, Missed: 1, Lost: 0, Flows: 1}); ref.AfterWarm != want {
+	if want := (dpif.Stats{Hits: 7, Missed: 1, Lost: 0, Processed: 8, Flows: 1}); ref.AfterWarm != want {
 		t.Errorf("netdev AfterWarm = %+v, want %+v", ref.AfterWarm, want)
 	}
 	// 10 = 8 warm + 1 after FlowDel + 1 after FlowPut (the port-del packet
@@ -231,6 +232,238 @@ func TestPerfStatsAcrossProviders(t *testing.T) {
 			if r.InPort != 1 || r.OutPort != 2 || r.Result == perf.ResultNone {
 				t.Errorf("%s: bad lifecycle %+v", name, r)
 			}
+		}
+	}
+}
+
+// faultObservation is everything observable from the shared fault schedule:
+// the unified stats block, the test's own delivery accounting, the slow-path
+// internals, and the injector's per-fault counters.
+type faultObservation struct {
+	Stats        dpif.Stats
+	Delivered    uint64
+	LinkDrops    uint64
+	HookUpcalls  uint64 // upcall-hook invocations, failed attempts included
+	Retries      uint64
+	UpcallErrors uint64
+
+	FlowsAfterFail   int // negative flow(s) present after hard failure
+	FlowsAfterExpiry int // and gone after the TTL
+
+	UpcallWindows uint64
+	UpcallTrips   uint64
+	LinkWindows   uint64
+	LinkTrips     uint64
+
+	// Busy fingerprints virtual-time cost attribution across every CPU.
+	// Identical between two seeded runs of one provider; cleared for the
+	// cross-provider comparison (the providers' costs differ by design).
+	Busy sim.Time
+}
+
+// malformedPacket is a truncated IPv4 frame: the Ethernet header parses and
+// announces IPv4, but only 4 bytes of L3 follow. InPort 7 matches no
+// installed flow on any provider (the ebpf flavor's exact-match narrowing
+// included), so the packet reaches the slow-path admission check where the
+// malformed split happens.
+func malformedPacket() *packet.Packet {
+	data := make([]byte, hdr.EthernetSize+4)
+	data[12], data[13] = 0x08, 0x00 // EtherTypeIPv4
+	p := packet.New(data)
+	p.InPort = 7
+	return p
+}
+
+// runFaultScenario drives one provider through the shared fault schedule:
+//
+//	A: transient slow-path outage + a 12-packet burst of one flow — 4 park
+//	   in the bounded queue and recover via backoff retries, 8 overflow;
+//	B: link flap on the output port while the flow is hot — delivery fails
+//	   at the carrier, the datapath still counts hits;
+//	C: malformed frames — counted separately from policy drops;
+//	D: hard slow-path outage — retries exhaust, the flow is dropped and a
+//	   short-lived negative flow shields the slow path until its TTL.
+func runFaultScenario(t *testing.T, name string) faultObservation {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	pl := forwardPipeline()
+	d, err := dpif.Open(name, dpif.Config{Eng: eng, Pipeline: pl,
+		Upcall: dpif.UpcallConfig{QueueCap: 4, ServiceInterval: 20 * sim.Microsecond,
+			RetryBase: 25 * sim.Microsecond, MaxRetries: 3}})
+	if err != nil {
+		t.Fatalf("Open(%q): %v", name, err)
+	}
+	var o faultObservation
+	inj := faultinject.New(eng)
+
+	failGate := inj.Gate(faultinject.KindUpcallFailure, "upcall")
+	d.SetUpcall(func(key flow.Key) (ofproto.Megaflow, error) {
+		o.HookUpcalls++
+		if failGate() {
+			return ofproto.Megaflow{}, inj.Err(faultinject.KindUpcallFailure, "upcall")
+		}
+		return pl.Translate(key)
+	})
+
+	linkGate := inj.Gate(faultinject.KindLinkFlap, "p1")
+	if err := d.PortAdd(dpif.TxPort{PortID: 1, PortName: "p0",
+		Deliver: func(*packet.Packet) {}}); err != nil {
+		t.Fatalf("%s: PortAdd(1): %v", name, err)
+	}
+	if err := d.PortAdd(dpif.TxPort{PortID: 2, PortName: "p1",
+		Deliver: func(*packet.Packet) {
+			if linkGate() {
+				o.LinkDrops++
+			} else {
+				o.Delivered++
+			}
+		}}); err != nil {
+		t.Fatalf("%s: PortAdd(2): %v", name, err)
+	}
+
+	// Phase A: the slow path is down for the first 100us; a 12-packet burst
+	// of one flow arrives at t=0. Queue cap 4: the rest is ENOBUFS.
+	inj.Window(faultinject.KindUpcallFailure, "upcall", 0, 100*sim.Microsecond, nil)
+	for i := 0; i < 12; i++ {
+		d.Execute(scenarioPacket())
+	}
+	eng.RunUntil(sim.Millisecond) // retries resolve well before this
+
+	// Phase B: link flap on the output port while the flow is installed.
+	// The window edges are engine events, so arm it strictly in the future
+	// and advance into it before executing.
+	t1 := eng.Now()
+	inj.Window(faultinject.KindLinkFlap, "p1", t1+10*sim.Microsecond, 30*sim.Microsecond, nil)
+	eng.RunUntil(t1 + 20*sim.Microsecond)
+	for i := 0; i < 6; i++ {
+		d.Execute(scenarioPacket())
+	}
+	eng.RunUntil(t1 + 100*sim.Microsecond)
+
+	// Phase C: malformed frames never reach the upcall queue.
+	for i := 0; i < 3; i++ {
+		d.Execute(malformedPacket())
+	}
+	eng.RunUntil(t1 + 200*sim.Microsecond)
+
+	// Phase D: flow tables empty, slow path hard-down for 5ms — longer than
+	// any backoff chain. 5 packets: 4 admitted (all eventually dropped, one
+	// through exhausted retries, the rest against the negative flow), 1
+	// refused at the queue.
+	d.FlowFlush()
+	t2 := eng.Now()
+	inj.Window(faultinject.KindUpcallFailure, "upcall", t2+10*sim.Microsecond, 5*sim.Millisecond, nil)
+	eng.RunUntil(t2 + 20*sim.Microsecond)
+	for i := 0; i < 5; i++ {
+		d.Execute(scenarioPacket())
+	}
+	eng.RunUntil(t2 + 3*sim.Millisecond)
+	o.FlowsAfterFail = len(d.FlowDump())
+	eng.RunUntil(t2 + 40*sim.Millisecond) // past the negative flow's TTL
+	o.FlowsAfterExpiry = len(d.FlowDump())
+
+	o.Stats = d.Stats()
+	switch v := d.(type) {
+	case *dpif.Netdev:
+		o.Retries = v.Datapath().UpcallRetries
+		o.UpcallErrors = v.Datapath().UpcallErrors
+	case *dpif.Netlink:
+		o.Retries = v.Kernel().UpcallRetries
+		o.UpcallErrors = v.Kernel().UpcallErrors
+	}
+	o.UpcallWindows = inj.Windows(faultinject.KindUpcallFailure)
+	o.UpcallTrips = inj.Trips(faultinject.KindUpcallFailure)
+	o.LinkWindows = inj.Windows(faultinject.KindLinkFlap)
+	o.LinkTrips = inj.Trips(faultinject.KindLinkFlap)
+	for _, c := range eng.CPUs() {
+		o.Busy += c.BusyTotal()
+	}
+	return o
+}
+
+// TestFaultScheduleConformance runs the same fault schedule against every
+// provider and requires identical counter semantics: the same packets drop
+// for the same reasons in the same places, and the drop classes conserve
+// against Processed.
+func TestFaultScheduleConformance(t *testing.T) {
+	types := dpif.Types()
+	obs := make(map[string]faultObservation, len(types))
+	for _, name := range types {
+		obs[name] = runFaultScenario(t, name)
+	}
+
+	ref := obs["netdev"]
+	// Absolute spot-checks, once (the schedule fixes every number).
+	if ref.Stats.Missed != 17 {
+		t.Errorf("Missed = %d, want 17 (12 burst + 5 outage)", ref.Stats.Missed)
+	}
+	if ref.Stats.UpcallQueueDrops != 9 {
+		t.Errorf("UpcallQueueDrops = %d, want 9 (8 burst + 1 outage)", ref.Stats.UpcallQueueDrops)
+	}
+	if ref.Stats.MalformedDrops != 3 {
+		t.Errorf("MalformedDrops = %d, want 3", ref.Stats.MalformedDrops)
+	}
+	if ref.Stats.Lost != 4 {
+		t.Errorf("Lost = %d, want 4 (the admitted outage packets)", ref.Stats.Lost)
+	}
+	if ref.Stats.Processed != 26 {
+		t.Errorf("Processed = %d, want 26", ref.Stats.Processed)
+	}
+	if ref.Delivered != 4 || ref.LinkDrops != 6 {
+		t.Errorf("delivered=%d linkDrops=%d, want 4/6", ref.Delivered, ref.LinkDrops)
+	}
+	if ref.Retries == 0 {
+		t.Error("no backoff retries observed")
+	}
+	if ref.UpcallErrors != 1 {
+		t.Errorf("UpcallErrors = %d, want 1 (first exhausted retry installs the negative flow; later packets dedup against it)", ref.UpcallErrors)
+	}
+	if ref.FlowsAfterFail != 1 {
+		t.Errorf("FlowsAfterFail = %d, want exactly the negative flow", ref.FlowsAfterFail)
+	}
+	if ref.FlowsAfterExpiry != 0 {
+		t.Errorf("FlowsAfterExpiry = %d, want 0 (TTL passed)", ref.FlowsAfterExpiry)
+	}
+	if ref.LinkTrips != 6 || ref.LinkWindows != 1 || ref.UpcallWindows != 2 {
+		t.Errorf("injector counters: linkTrips=%d linkWindows=%d upcallWindows=%d, want 6/1/2",
+			ref.LinkTrips, ref.LinkWindows, ref.UpcallWindows)
+	}
+
+	// Conservation: every fast-path pass is delivered or counted in exactly
+	// one drop class (link drops happen beyond the dpif boundary, in the
+	// test's port, so they are on the delivered side of the datapath).
+	for _, name := range types {
+		o := obs[name]
+		if got := o.Delivered + o.LinkDrops + o.Stats.Lost + o.Stats.UpcallQueueDrops + o.Stats.MalformedDrops; got != o.Stats.Processed {
+			t.Errorf("%s: conservation broken: delivered %d + link %d + lost %d + queue %d + malformed %d != processed %d",
+				name, o.Delivered, o.LinkDrops, o.Stats.Lost,
+				o.Stats.UpcallQueueDrops, o.Stats.MalformedDrops, o.Stats.Processed)
+		}
+	}
+
+	// Cross-provider: identical counter semantics; only the cost fingerprint
+	// may differ.
+	ref.Busy = 0
+	for _, name := range types {
+		o := obs[name]
+		o.Busy = 0
+		if !reflect.DeepEqual(o, ref) {
+			t.Errorf("provider %q diverges from netdev under faults:\n  %q: %+v\n  netdev: %+v",
+				name, name, o, ref)
+		}
+	}
+}
+
+// TestFaultScheduleDeterminism runs the full fault schedule twice per
+// provider with the same seed and requires byte-identical observations —
+// including the virtual-time cost fingerprint, which covers backoff jitter,
+// retry ordering, and negative-flow expiry.
+func TestFaultScheduleDeterminism(t *testing.T) {
+	for _, name := range dpif.Types() {
+		a := runFaultScenario(t, name)
+		b := runFaultScenario(t, name)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two seeded runs diverge:\n  run1: %+v\n  run2: %+v", name, a, b)
 		}
 	}
 }

@@ -64,12 +64,26 @@ type Flow struct {
 
 // Stats is the unified datapath statistics block, the numbers `ovs-dpctl
 // show` prints: cache hits, misses that upcalled to the slow path, packets
-// lost (dropped) in the datapath, and the installed megaflow count.
+// lost (dropped) in the datapath, and the installed megaflow count. The
+// three drop classes are disjoint: Lost is datapath drops (policy, dead
+// port, meter), UpcallQueueDrops is slow-path admission refusals, and
+// MalformedDrops is parse failures; with Processed counting fast-path
+// passes, Processed == delivered + Lost + UpcallQueueDrops +
+// MalformedDrops when no recirculation is in play.
 type Stats struct {
 	Hits   uint64
 	Missed uint64
 	Lost   uint64
-	Flows  int
+	// UpcallQueueDrops counts packets refused because the bounded upcall
+	// queue was full — the kernel's ENOBUFS on the per-port netlink
+	// socket, and its netdev analog.
+	UpcallQueueDrops uint64
+	// MalformedDrops counts slow-path parse failures (the flow
+	// extractor's EINVAL), split from policy drops.
+	MalformedDrops uint64
+	// Processed counts fast-path packet passes, including recirculation.
+	Processed uint64
+	Flows     int
 }
 
 // Dpif is one open datapath. All providers implement identical observable

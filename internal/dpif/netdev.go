@@ -23,6 +23,12 @@ func init() {
 		if !ok {
 			opts = core.DefaultOptions()
 		}
+		if cfg.Upcall.QueueCap > 0 {
+			opts.UpcallQueueCap = cfg.Upcall.QueueCap
+			opts.UpcallServiceInterval = cfg.Upcall.ServiceInterval
+			opts.UpcallRetryBase = cfg.Upcall.RetryBase
+			opts.UpcallMaxRetries = cfg.Upcall.MaxRetries
+		}
 		return NewNetdev(core.NewDatapath(cfg.Eng, cfg.Pipeline, opts)), nil
 	})
 }
@@ -112,10 +118,13 @@ func (d *Netdev) SetUpcall(fn UpcallFunc) { d.dp.SetUpcall(fn) }
 // the two caches a packet can shortcut through.
 func (d *Netdev) Stats() Stats {
 	return Stats{
-		Hits:   d.dp.EMCHits + d.dp.MegaflowHits,
-		Missed: d.dp.Upcalls,
-		Lost:   d.dp.Drops,
-		Flows:  d.dp.FlowCount(),
+		Hits:             d.dp.EMCHits + d.dp.MegaflowHits,
+		Missed:           d.dp.Upcalls,
+		Lost:             d.dp.Drops,
+		UpcallQueueDrops: d.dp.UpcallQueueDrops,
+		MalformedDrops:   d.dp.MalformedDrops,
+		Processed:        d.dp.Processed,
+		Flows:            d.dp.FlowCount(),
 	}
 }
 

@@ -34,7 +34,14 @@ func init() {
 
 func netlinkFactory(flavor kernelsim.Flavor) Factory {
 	return func(cfg Config) (Dpif, error) {
-		return NewNetlink(cfg.Eng, kernelsim.NewDatapath(cfg.Eng, flavor, cfg.Pipeline)), nil
+		kdp := kernelsim.NewDatapath(cfg.Eng, flavor, cfg.Pipeline)
+		if cfg.Upcall.QueueCap > 0 {
+			kdp.UpcallQueueCap = cfg.Upcall.QueueCap
+			kdp.UpcallServiceInterval = cfg.Upcall.ServiceInterval
+			kdp.UpcallRetryBase = cfg.Upcall.RetryBase
+			kdp.UpcallMaxRetries = cfg.Upcall.MaxRetries
+		}
+		return NewNetlink(cfg.Eng, kdp), nil
 	}
 }
 
@@ -134,9 +141,12 @@ func (d *Netlink) EnableTrace(n int) { d.kdp.EnableTrace(n) }
 // Stats implements Dpif.
 func (d *Netlink) Stats() Stats {
 	return Stats{
-		Hits:   d.kdp.Hits,
-		Missed: d.kdp.Misses,
-		Lost:   d.kdp.Drops,
-		Flows:  d.kdp.FlowCount(),
+		Hits:             d.kdp.Hits,
+		Missed:           d.kdp.Misses,
+		Lost:             d.kdp.Drops,
+		UpcallQueueDrops: d.kdp.UpcallQueueDrops,
+		MalformedDrops:   d.kdp.MalformedDrops,
+		Processed:        d.kdp.Processed,
+		Flows:            d.kdp.FlowCount(),
 	}
 }

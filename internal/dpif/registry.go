@@ -8,13 +8,26 @@ import (
 	"ovsxdp/internal/sim"
 )
 
+// UpcallConfig bounds and paces the slow path, provider-independently:
+// QueueCap bounds the queue of packets awaiting translation (zero keeps
+// the legacy unbounded inline upcall), ServiceInterval is the handler's
+// per-upcall service time, and RetryBase/MaxRetries govern the
+// exponential-backoff retry of transient translation faults.
+type UpcallConfig struct {
+	QueueCap        int
+	ServiceInterval sim.Time
+	RetryBase       sim.Time
+	MaxRetries      int
+}
+
 // Config parameterizes Open. Options carries provider-specific tunables
 // (core.Options for the netdev provider); providers that take none ignore
-// it.
+// it. Upcall applies to every provider.
 type Config struct {
 	Eng      *sim.Engine
 	Pipeline *ofproto.Pipeline
 	Options  any
+	Upcall   UpcallConfig
 }
 
 // Factory builds one provider instance.

@@ -26,9 +26,17 @@ type Revalidator struct {
 	idleFor  map[*dpcls.Entry]int
 	running  bool
 
+	// Stall, when set and returning true, models a wedged revalidator
+	// thread (fault injection): the sweep is skipped — idle flows age out
+	// late — but rescheduling continues, so it recovers when the window
+	// closes.
+	Stall func() bool
+
 	// Stats.
 	Sweeps  uint64
 	Evicted uint64
+	// StalledSweeps counts sweeps skipped by an injected stall.
+	StalledSweeps uint64
 }
 
 // StartRevalidator launches periodic sweeps over the datapath on eng.
@@ -64,6 +72,11 @@ func (r *Revalidator) Running() bool { return r.running }
 // sweep examines every installed megaflow and evicts the idle ones.
 func (r *Revalidator) sweep() {
 	if !r.running {
+		return
+	}
+	if r.Stall != nil && r.Stall() {
+		r.StalledSweeps++
+		r.eng.Schedule(r.Interval, r.sweep)
 		return
 	}
 	r.Sweeps++

@@ -112,6 +112,35 @@ func All() []Experiment {
 	return out
 }
 
+// Scenario is a registered robustness scenario: unlike an Experiment it has
+// no paper anchor, so it lives in a separate registry and never appears in
+// All() — keeping `ovsbench` full-run output byte-identical.
+type Scenario struct {
+	ID    string
+	Title string
+	Run   func(p Profile) *Report
+}
+
+var scenarioRegistry = map[string]Scenario{}
+
+func registerScenario(s Scenario) { scenarioRegistry[s.ID] = s }
+
+// GetScenario looks a scenario up by id (e.g. "restart").
+func GetScenario(id string) (Scenario, bool) {
+	s, ok := scenarioRegistry[id]
+	return s, ok
+}
+
+// Scenarios returns every scenario sorted by id.
+func Scenarios() []Scenario {
+	out := make([]Scenario, 0, len(scenarioRegistry))
+	for _, s := range scenarioRegistry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // searchConfig builds the lossless search bracket for a profile.
 func searchConfig(p Profile, hiPPS float64) measure.SearchConfig {
 	return measure.SearchConfig{LoPPS: 5e4, HiPPS: hiPPS,

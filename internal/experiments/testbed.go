@@ -131,6 +131,11 @@ type Bed struct {
 	// seam — the bed never needs to know which implementation it drives.
 	DP dpif.Dpif
 
+	// Actors holds the kernel datapath's NAPI softirq actors so scenarios
+	// (restart/recovery) can stop and resume them. Empty for userspace
+	// datapaths, whose PMD threads are reachable via DP.
+	Actors []*kernelsim.NAPIActor
+
 	dropFns []func() uint64
 }
 
@@ -208,6 +213,7 @@ func NewP2PBed(cfg BedConfig) *Bed {
 				Src:     kernelsim.NICQueueSource{Q: bed.NICA.Queue(q)},
 				Handler: kdpHandler(nl, 1),
 			}
+			bed.Actors = append(bed.Actors, actor)
 			actor.Start()
 		}
 	case KindAFXDP:

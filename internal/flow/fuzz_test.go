@@ -1,0 +1,43 @@
+package flow
+
+import (
+	"testing"
+
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/packet/hdr"
+)
+
+// FuzzExtract throws arbitrary bytes at the flow extractor, the strict
+// malformed-frame classifier, and the header parsers behind them. The
+// contract under fuzzing is the slow-path one: malformed packets must never
+// panic — they may only yield partial keys (Extract) or count as drops
+// (Malformed); this is what lets the datapaths route parse failures to
+// MalformedDrops instead of crashing the switch.
+func FuzzExtract(f *testing.F) {
+	valid := hdr.NewBuilder().
+		Eth(hdr.MAC{0x02, 0xaa, 0, 0, 0, 1}, hdr.MAC{0x02, 0xbb, 0, 0, 0, 1}).
+		IPv4H(hdr.MakeIP4(10, 0, 0, 1), hdr.MakeIP4(10, 0, 0, 2), 64).
+		UDPH(1000, 2000).PadTo(64).Build()
+	f.Add(valid)
+	f.Add(valid[:17])                // truncated mid-IPv4
+	f.Add(valid[:hdr.EthernetSize])  // bare Ethernet
+	f.Add(hdr.PushVLAN(valid, 7, 3)) // VLAN-tagged
+	f.Add([]byte{})
+	// Ethernet claiming IPv6/ARP with nothing behind it.
+	f.Add(append(append([]byte(nil), valid[:12]...), 0x86, 0xdd))
+	f.Add(append(append([]byte(nil), valid[:12]...), 0x08, 0x06))
+	// IPv4 with a lying IHL.
+	bad := append([]byte(nil), valid...)
+	bad[hdr.EthernetSize] = 0x4f
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := packet.New(append([]byte(nil), data...))
+		p.InPort = 1
+		_ = Extract(p)
+		_ = Malformed(p)
+		if eth, err := hdr.ParseEthernet(p.Data); err == nil {
+			_, _ = hdr.ParseIPv4(p.Data[eth.HeaderLen:])
+		}
+	})
+}

@@ -1,0 +1,36 @@
+package flow
+
+import (
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/packet/hdr"
+)
+
+// Malformed reports whether the packet fails strict header validation for
+// the layers its EtherType promises. Extract deliberately never errors (it
+// stops quietly at the first unparseable byte, like miniflow_extract), so
+// the slow path uses this check to split genuine parse failures — counted
+// as MalformedDrops, the analog of the kernel flow extractor's EINVAL —
+// from policy drops. It is a pure read: no CPU cost is charged, so calling
+// it never perturbs virtual time.
+func Malformed(p *packet.Packet) bool {
+	eth, err := hdr.ParseEthernet(p.Data)
+	if err != nil {
+		return true
+	}
+	l3 := p.Data[eth.HeaderLen:]
+	switch eth.Type {
+	case hdr.EtherTypeIPv4:
+		if _, err := hdr.ParseIPv4(l3); err != nil {
+			return true
+		}
+	case hdr.EtherTypeIPv6:
+		if len(l3) < hdr.IPv6Size {
+			return true
+		}
+	case hdr.EtherTypeARP:
+		if len(l3) < hdr.ARPSize {
+			return true
+		}
+	}
+	return false
+}

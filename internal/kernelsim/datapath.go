@@ -4,6 +4,7 @@ import (
 	"ovsxdp/internal/conntrack"
 	"ovsxdp/internal/costmodel"
 	"ovsxdp/internal/dpcls"
+	"ovsxdp/internal/faultinject"
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/ofproto"
 	"ovsxdp/internal/packet"
@@ -59,6 +60,31 @@ type Datapath struct {
 	// handler (dpif upcall registration).
 	upcall func(flow.Key) (ofproto.Megaflow, error)
 
+	// UpcallQueueCap bounds the queue of packets awaiting translation by
+	// the userspace handler — the per-port netlink socket buffer whose
+	// overflow the kernel reports as ENOBUFS. Zero keeps the legacy
+	// inline upcall.
+	UpcallQueueCap int
+	// UpcallServiceInterval is the handler's per-upcall service time when
+	// the queue is bounded; zero defaults to costmodel.UpcallCost.
+	UpcallServiceInterval sim.Time
+	// UpcallRetryBase seeds the exponential backoff for transient upcall
+	// failures; zero defaults to UpcallCost/4.
+	UpcallRetryBase sim.Time
+	// UpcallMaxRetries bounds backoff retries of one transient upcall;
+	// zero defaults to 3.
+	UpcallMaxRetries int
+	// NegativeFlowTTL is the lifetime of the drop flow installed when an
+	// upcall fails for good; <= 0 disables it.
+	NegativeFlowTTL sim.Time
+
+	// upcallQ parks packets awaiting translation when UpcallQueueCap is
+	// set; upcallBusy is set while a handler service event is in flight;
+	// handler is the userspace handler thread's CPU, created lazily.
+	upcallQ    []*kpendingUpcall
+	upcallBusy bool
+	handler    *sim.CPU
+
 	// Perf is the softirq context's performance-counter block, the kernel
 	// counterpart of a PMD's dpif-netdev-perf stats. The kernel path has no
 	// EMC, so StageEMC stays zero and flow-table hits land in StageDpcls.
@@ -72,18 +98,32 @@ type Datapath struct {
 	Misses  uint64
 	Drops   uint64
 	Upcalls uint64
+	// Processed counts fast-path passes (including recirculation), the
+	// conservation base for the drop counters.
+	Processed uint64
+	// UpcallErrors counts translations that failed for good.
+	UpcallErrors uint64
+	// UpcallQueueDrops counts packets refused because the bounded upcall
+	// queue was full (ENOBUFS); they are not in Drops.
+	UpcallQueueDrops uint64
+	// UpcallRetries counts backoff retries of transient upcall failures.
+	UpcallRetries uint64
+	// MalformedDrops counts slow-path parse failures (the flow
+	// extractor's EINVAL), split from policy drops.
+	MalformedDrops uint64
 }
 
 // NewDatapath builds a kernel datapath over a pipeline.
 func NewDatapath(eng *sim.Engine, flavor Flavor, pl *ofproto.Pipeline) *Datapath {
 	return &Datapath{
-		Eng:      eng,
-		Flavor:   flavor,
-		Pipeline: pl,
-		Ct:       conntrack.NewTable(eng),
-		flows:    dpcls.New(0x6b73),
-		Outputs:  make(map[uint32]func(*packet.Packet)),
-		Perf:     perf.NewStats(),
+		Eng:             eng,
+		Flavor:          flavor,
+		Pipeline:        pl,
+		Ct:              conntrack.NewTable(eng),
+		flows:           dpcls.New(0x6b73),
+		Outputs:         make(map[uint32]func(*packet.Packet)),
+		Perf:            perf.NewStats(),
+		NegativeFlowTTL: costmodel.NegativeFlowTTL,
 	}
 }
 
@@ -172,11 +212,21 @@ func (d *Datapath) ProcessBatch(cpu *sim.CPU, pkts []*packet.Packet) {
 const maxKernelRecirc = 8
 
 func (d *Datapath) process(cpu *sim.CPU, p *packet.Packet, depth int) {
+	d.processCounted(cpu, p, depth, true)
+}
+
+// processCounted is process with the admission accounting gated: packets
+// reinjected after a queued upcall resolves (count=false) were already
+// counted at admission.
+func (d *Datapath) processCounted(cpu *sim.CPU, p *packet.Packet, depth int, count bool) {
 	if depth > maxKernelRecirc {
 		d.Drops++
 		return
 	}
-	if depth == 0 {
+	if count {
+		d.Processed++
+	}
+	if depth == 0 && count {
 		d.Perf.Packets++
 		if tr := d.Perf.Tracer(); tr != nil {
 			start := cpu.FreeAt()
@@ -198,17 +248,44 @@ func (d *Datapath) process(cpu *sim.CPU, p *packet.Packet, depth int) {
 	d.charge(cpu, sim.Softirq, perf.StageDpcls, d.cost(costmodel.KernelOVSLookup))
 	entry, _ := d.flows.Lookup(key)
 	if entry == nil {
-		// Upcall to ovs-vswitchd over netlink: expensive, and the
-		// translation installs a flow for successors.
+		// The kernel flow extractor rejects malformed frames with EINVAL
+		// before any upcall is attempted; keep those distinct from policy
+		// drops.
+		if flow.Malformed(p) {
+			d.MalformedDrops++
+			return
+		}
 		d.Misses++
 		d.Upcalls++
+		if d.UpcallQueueCap > 0 {
+			// Bounded netlink socket: park the packet for the userspace
+			// handler, or drop with ENOBUFS when the queue is full.
+			// Misses are counted above even for refused packets.
+			d.traceResolved(perf.ResultUpcall)
+			if len(d.upcallQ) >= d.UpcallQueueCap {
+				d.UpcallQueueDrops++
+				d.Perf.UpcallQueueDrops++
+				return
+			}
+			d.upcallQ = append(d.upcallQ,
+				&kpendingUpcall{key: key, pkt: p, enq: d.Eng.Now(), cpu: cpu})
+			if n := uint64(len(d.upcallQ)); n > d.Perf.UpcallQueuePeak {
+				d.Perf.UpcallQueuePeak = n
+			}
+			d.kickUpcalls()
+			return
+		}
+		// Legacy path: inline upcall to ovs-vswitchd over netlink —
+		// expensive, and the translation installs a flow for successors.
 		upcallBefore := cpu.BusyTotal()
 		d.charge(cpu, sim.System, perf.StageUpcall, costmodel.UpcallCost)
 		mf, err := d.translate(key)
 		d.Perf.AddUpcall(cpu.BusyTotal() - upcallBefore)
 		d.traceResolved(perf.ResultUpcall)
 		if err != nil {
+			d.UpcallErrors++
 			d.Drops++
+			d.installNegativeFlow(key)
 			return
 		}
 		entry = d.InstallFlow(key, mf.Mask, mf.Actions)
@@ -298,3 +375,114 @@ func decTTL(p *packet.Packet) {
 
 // FlushFlows drops all installed datapath flows (revalidation).
 func (d *Datapath) FlushFlows() { d.flows.Flush() }
+
+// kpendingUpcall is one packet parked in the bounded upcall queue. The
+// softirq CPU it arrived on is kept so the reinjected packet charges the
+// same context it would have run in.
+type kpendingUpcall struct {
+	key     flow.Key
+	pkt     *packet.Packet
+	enq     sim.Time
+	attempt int
+	cpu     *sim.CPU
+}
+
+// upcallInterval is the bounded handler's per-upcall service time.
+func (d *Datapath) upcallInterval() sim.Time {
+	if d.UpcallServiceInterval > 0 {
+		return d.UpcallServiceInterval
+	}
+	return costmodel.UpcallCost
+}
+
+// retryBase seeds the exponential backoff for transient upcall failures.
+func (d *Datapath) retryBase() sim.Time {
+	if d.UpcallRetryBase > 0 {
+		return d.UpcallRetryBase
+	}
+	return costmodel.UpcallCost / 4
+}
+
+// maxUpcallRetries bounds backoff retries of one transient upcall.
+func (d *Datapath) maxUpcallRetries() int {
+	if d.UpcallMaxRetries > 0 {
+		return d.UpcallMaxRetries
+	}
+	return 3
+}
+
+// handlerCPU lazily creates the userspace handler thread (ovs-vswitchd's
+// handler pool, reduced to one thread).
+func (d *Datapath) handlerCPU() *sim.CPU {
+	if d.handler == nil {
+		d.handler = d.Eng.NewCPU("ovs-handler")
+	}
+	return d.handler
+}
+
+// installNegativeFlow installs a short-lived drop flow after a failed
+// upcall; it self-expires after NegativeFlowTTL.
+func (d *Datapath) installNegativeFlow(key flow.Key) {
+	ttl := d.NegativeFlowTTL
+	if ttl <= 0 {
+		return
+	}
+	e := d.flows.Insert(key, flow.MaskAll(), nil)
+	d.Eng.Schedule(ttl, func() { d.flows.Remove(e) })
+}
+
+// kickUpcalls schedules the next queued upcall for service one handler
+// service interval from now.
+func (d *Datapath) kickUpcalls() {
+	if d.upcallBusy || len(d.upcallQ) == 0 {
+		return
+	}
+	d.upcallBusy = true
+	d.Eng.Schedule(d.upcallInterval(), d.serviceUpcall)
+}
+
+// serviceUpcall handles one parked upcall on the userspace handler thread,
+// mirroring the netdev provider's semantics exactly: dedup against the
+// flow table, translate with backoff retry on transient faults, install
+// the flow (or a negative flow on hard failure), reinject the packet.
+func (d *Datapath) serviceUpcall() {
+	d.upcallBusy = false
+	if len(d.upcallQ) == 0 {
+		return
+	}
+	u := d.upcallQ[0]
+	d.upcallQ = d.upcallQ[1:]
+	defer d.kickUpcalls()
+
+	if e, _ := d.flows.Lookup(u.key); e != nil {
+		d.processCounted(u.cpu, u.pkt, 0, false)
+		return
+	}
+
+	cpu := d.handlerCPU()
+	cpu.Consume(sim.System, costmodel.UpcallCost)
+	d.Perf.Add(perf.StageUpcall, costmodel.UpcallCost)
+	mf, err := d.translate(u.key)
+	if err != nil {
+		if te, ok := err.(interface{ Transient() bool }); ok && te.Transient() &&
+			u.attempt < d.maxUpcallRetries() {
+			u.attempt++
+			d.UpcallRetries++
+			delay := faultinject.Backoff(d.Eng.Rand(), d.retryBase(), u.attempt)
+			d.Eng.Schedule(delay, func() {
+				// Retries bypass the cap: the packet was admitted once.
+				d.upcallQ = append(d.upcallQ, u)
+				d.kickUpcalls()
+			})
+			return
+		}
+		d.UpcallErrors++
+		d.Drops++
+		d.Perf.AddUpcall(d.Eng.Now() - u.enq)
+		d.installNegativeFlow(u.key)
+		return
+	}
+	d.InstallFlow(u.key, mf.Mask, mf.Actions)
+	d.Perf.AddUpcall(d.Eng.Now() - u.enq)
+	d.processCounted(u.cpu, u.pkt, 0, false)
+}

@@ -369,3 +369,30 @@ func TestFlushFlowsForcesReUpcall(t *testing.T) {
 		t.Fatalf("upcalls = %d, want 2 after flush", dp.Upcalls)
 	}
 }
+
+// TestMalformedDrops: frames the flow extractor rejects are counted in
+// their own drop class — never upcalled, never mixed with policy drops.
+func TestMalformedDrops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cpu := eng.NewCPU("softirq0")
+	dp := NewDatapath(eng, FlavorModule, forwardPipeline())
+	dp.Outputs[2] = func(*packet.Packet) {}
+
+	// Truncated IPv4: the Ethernet header announces IPv4 but only 4 bytes
+	// of L3 follow.
+	bad := packet.New(make([]byte, hdr.EthernetSize+4))
+	bad.Data[12], bad.Data[13] = 0x08, 0x00
+	bad.InPort = 1
+	dp.Process(cpu, bad)
+	if dp.MalformedDrops != 1 || dp.Misses != 0 || dp.Upcalls != 0 || dp.Drops != 0 {
+		t.Fatalf("malformed=%d misses=%d upcalls=%d drops=%d, want 1/0/0/0",
+			dp.MalformedDrops, dp.Misses, dp.Upcalls, dp.Drops)
+	}
+
+	// A valid frame still takes the normal upcall path.
+	dp.Process(cpu, udpPkt(1))
+	if dp.Misses != 1 || dp.Upcalls != 1 || dp.MalformedDrops != 1 {
+		t.Fatalf("valid frame after malformed: misses=%d upcalls=%d malformed=%d, want 1/1/1",
+			dp.Misses, dp.Upcalls, dp.MalformedDrops)
+	}
+}

@@ -80,6 +80,7 @@ type NAPIActor struct {
 	Category sim.Category
 
 	running bool
+	stopped bool
 	// Polls and Packets count activity.
 	Polls   uint64
 	Packets uint64
@@ -94,8 +95,22 @@ func (a *NAPIActor) Start() {
 	a.Src.ArmWake()
 }
 
+// Stop parks the actor: the in-flight poll finishes its batch and no
+// further polls or wakeups run until Resume. Arrivals keep accumulating
+// (and overflowing) in the source queue — the module-unloaded window of a
+// kernel datapath reload.
+func (a *NAPIActor) Stop() { a.stopped = true }
+
+// Resume restarts polling after a Stop, draining whatever backlog built up
+// and re-arming the interrupt.
+func (a *NAPIActor) Resume() {
+	a.stopped = false
+	a.Src.ArmWake()
+	a.wake()
+}
+
 func (a *NAPIActor) wake() {
-	if a.running {
+	if a.running || a.stopped {
 		return
 	}
 	a.running = true
@@ -103,6 +118,12 @@ func (a *NAPIActor) wake() {
 }
 
 func (a *NAPIActor) poll() {
+	if a.stopped {
+		// Parked: leave arrivals queued and do not re-arm; Resume picks
+		// the backlog back up.
+		a.running = false
+		return
+	}
 	pkts := a.Src.PopPackets(NAPIBudget)
 	if len(pkts) == 0 {
 		a.running = false

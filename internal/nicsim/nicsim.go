@@ -110,9 +110,17 @@ type NIC struct {
 	// txFreeAt paces the transmit side at line rate.
 	txFreeAt sim.Time
 
+	// linkDown models a carrier-loss fault window: while set, frames are
+	// dropped at the PHY in both directions, as a real NIC does during a
+	// link flap.
+	linkDown bool
+
 	// Stats.
 	TxPackets uint64
 	TxBytes   uint64
+	// LinkDownRx / LinkDownTx count frames dropped while the link was down.
+	LinkDownRx uint64
+	LinkDownTx uint64
 }
 
 // Config parameterizes New.
@@ -200,9 +208,20 @@ func (n *NIC) classify(p *packet.Packet) *Queue {
 	return n.queues[h%uint32(len(n.queues))]
 }
 
+// SetLink raises or drops the carrier (fault injection: a link flap).
+// While down, Receive and Transmit drop every frame and count it.
+func (n *NIC) SetLink(up bool) { n.linkDown = !up }
+
+// LinkUp reports whether the carrier is present.
+func (n *NIC) LinkUp() bool { return !n.linkDown }
+
 // Receive is the wire-side ingress: DMA the packet into its queue's ring,
 // dropping on overflow, and raise the queue's interrupt if armed.
 func (n *NIC) Receive(p *packet.Packet) bool {
+	if n.linkDown {
+		n.LinkDownRx++
+		return false
+	}
 	if n.Offloads.RxCsum {
 		p.Offloads |= packet.CsumVerified
 	}
@@ -300,6 +319,10 @@ func (n *NIC) DriverReceive(q *Queue, max int, cpu *sim.CPU, v DriverVerdicts) (
 // in software before calling (and pay that cost themselves). The packet
 // arrives at the wire peer after serialization plus propagation delay.
 func (n *NIC) Transmit(p *packet.Packet) {
+	if n.linkDown {
+		n.LinkDownTx++
+		return
+	}
 	if p.Offloads&packet.CsumPartial != 0 && n.Offloads.TxCsum {
 		// Hardware fills the checksum: free for the CPU.
 		p.Offloads &^= packet.CsumPartial

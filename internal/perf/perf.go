@@ -75,6 +75,14 @@ type Stats struct {
 	MegaflowHits uint64
 	Upcalls      uint64
 
+	// UpcallQueueDrops counts packets this thread dropped because its
+	// bounded upcall queue was full (the netdev analog of the kernel's
+	// ENOBUFS on the netlink socket); UpcallQueuePeak is the deepest the
+	// queue got. Both stay zero when the queue is unbounded (legacy
+	// inline upcalls).
+	UpcallQueueDrops uint64
+	UpcallQueuePeak  uint64
+
 	batch  *sim.Histogram // packets per non-empty rx batch
 	upcall *sim.Histogram // upcall handling latency (virtual ns)
 	tracer *Tracer        // optional packet-lifecycle ring
@@ -176,6 +184,10 @@ func FormatTable(threads []ThreadStats) string {
 			s.Iterations, s.Packets, s.BatchMean())
 		fmt.Fprintf(&b, "  hits: emc:%d megaflow:%d upcall:%d\n",
 			s.EMCHits, s.MegaflowHits, s.Upcalls)
+		if s.UpcallQueueDrops > 0 || s.UpcallQueuePeak > 0 {
+			fmt.Fprintf(&b, "  upcall-queue: peak:%d drops:%d\n",
+				s.UpcallQueuePeak, s.UpcallQueueDrops)
+		}
 		total := s.TotalCycles()
 		for st := StageRx; st < NumStages; st++ {
 			pct := 0.0

@@ -30,9 +30,15 @@ type Queue struct {
 	wakeFn    func()
 	wakeArmed bool
 
+	// Gate, when set and returning true, refuses the push (fault
+	// injection: a detached backend or downed device).
+	Gate func() bool
+
 	// Stats.
 	Enqueued uint64
 	Dropped  uint64
+	// GateDrops counts pushes refused by an injected gate fault.
+	GateDrops uint64
 }
 
 // NewQueue builds a queue with the given depth (<=0 selects the default).
@@ -52,6 +58,10 @@ func (q *Queue) Cap() int { return q.depth }
 // Push enqueues a packet, dropping (and counting) on overflow. It fires the
 // armed wakeup when the queue transitions from empty.
 func (q *Queue) Push(p *packet.Packet) bool {
+	if q.Gate != nil && q.Gate() {
+		q.GateDrops++
+		return false
+	}
 	if len(q.items) >= q.depth {
 		q.Dropped++
 		return false
