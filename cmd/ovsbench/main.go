@@ -23,7 +23,9 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use shortened measurement windows")
 	perfStages := flag.Bool("perf", false, "add per-stage cycle attribution rows (fig9, table4)")
-	scenario := flag.String("scenario", "", "run a robustness scenario instead of an experiment (e.g. restart)")
+	scenario := flag.String("scenario", "", "run a robustness scenario instead of an experiment (e.g. restart, cachesweep)")
+	smcOn := flag.Bool("smc", false, "enable the signature match cache on userspace-datapath beds")
+	emcProb := flag.Int("emc-prob", 1, "inverse EMC insertion probability (1 = always insert)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -32,6 +34,8 @@ func main() {
 		profile = experiments.Quick
 	}
 	profile.PerfStages = *perfStages
+	experiments.DefaultCache.SMC = *smcOn
+	experiments.DefaultCache.EMCInsertInvProb = *emcProb
 
 	if *scenario != "" {
 		s, ok := experiments.GetScenario(*scenario)
@@ -94,12 +98,12 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `ovsbench — regenerate the paper's evaluation
 
 usage:
-  ovsbench [-quick] [-perf] list | all | <experiment>...
+  ovsbench [-quick] [-perf] [-smc] [-emc-prob N] list | all | <experiment>...
   ovsbench [-quick] -scenario <scenario>
 
 experiments: fig1 fig2 fig8a fig8b fig8c fig9a fig9b fig9c fig10 fig11 fig12
              table1 table2 table3 table4 table5
-scenarios:   restart
+scenarios:   restart cachesweep
 `)
 	flag.PrintDefaults()
 }

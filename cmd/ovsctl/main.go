@@ -23,6 +23,12 @@
 // bounded per-thread queue serviced at the given interval, and overflow is
 // counted as queue drops (the kernel's ENOBUFS analog) instead of growing
 // without limit.
+//
+// The -smc and -emc-prob flags shape the userspace cache hierarchy (the
+// other-config:smc-enable and emc-insert-inv-prob analogs): -smc enables
+// the signature match cache between the EMC and the megaflow classifier,
+// and -emc-prob N inserts into the EMC with probability 1/N. Both reach
+// only the netdev datapath, exactly as in OVS.
 package main
 
 import (
@@ -48,38 +54,53 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ovsctl [-datapath %v] [-upcall-queue N] [-upcall-svc-ns N] demo|show|dump-flows|dpctl-stats|pmd-perf-show|pmd-perf-trace|fault-demo\n",
+	fmt.Fprintf(os.Stderr, "usage: ovsctl [-datapath %v] [-upcall-queue N] [-upcall-svc-ns N] [-smc] [-emc-prob N] demo|show|dump-flows|dpctl-stats|pmd-perf-show|pmd-perf-trace|fault-demo\n",
 		dpif.Types())
+}
+
+// cliConfig carries the flag-selected datapath tunables into every
+// subcommand: the bounded slow path and the cache hierarchy shape.
+type cliConfig struct {
+	uc dpif.UpcallConfig
+	cc dpif.CacheConfig
 }
 
 func main() {
 	dpType := flag.String("datapath", "netdev", "dpif provider type")
 	upcallQueue := flag.Int("upcall-queue", 0, "bounded upcall queue capacity (0 = legacy unbounded inline upcalls)")
 	upcallSvcNs := flag.Int64("upcall-svc-ns", 0, "upcall handler service interval in virtual ns (0 = default)")
+	smcOn := flag.Bool("smc", false, "enable the signature match cache (other-config:smc-enable analog, netdev only)")
+	emcProb := flag.Int("emc-prob", 1, "inverse EMC insertion probability: insert with probability 1/N (emc-insert-inv-prob analog)")
 	flag.Usage = usage
 	flag.Parse()
 
-	uc := dpif.UpcallConfig{
-		QueueCap:        *upcallQueue,
-		ServiceInterval: sim.Time(*upcallSvcNs),
+	cfg := cliConfig{
+		uc: dpif.UpcallConfig{
+			QueueCap:        *upcallQueue,
+			ServiceInterval: sim.Time(*upcallSvcNs),
+		},
+		cc: dpif.CacheConfig{
+			SMC:              *smcOn,
+			EMCInsertInvProb: *emcProb,
+		},
 	}
 
 	var err error
 	switch flag.Arg(0) {
 	case "demo":
-		err = demo(*dpType, uc)
+		err = demo(*dpType, cfg)
 	case "show":
-		err = show(*dpType, uc)
+		err = show(*dpType, cfg)
 	case "dump-flows":
-		err = dumpFlows(*dpType, uc)
+		err = dumpFlows(*dpType, cfg)
 	case "dpctl-stats":
-		err = dpctlStats(*dpType, uc)
+		err = dpctlStats(*dpType, cfg)
 	case "pmd-perf-show":
-		err = pmdPerfShow(*dpType, uc)
+		err = pmdPerfShow(*dpType, cfg)
 	case "pmd-perf-trace":
-		err = pmdPerfTrace(*dpType, uc)
+		err = pmdPerfTrace(*dpType, cfg)
 	case "fault-demo":
-		err = faultDemo(*dpType, uc)
+		err = faultDemo(*dpType, cfg)
 	default:
 		usage()
 		os.Exit(2)
@@ -99,10 +120,10 @@ type env struct {
 	daemon *vswitchd.VSwitchd
 }
 
-func newEnv(dpType string, uc dpif.UpcallConfig) (*env, error) {
+func newEnv(dpType string, cfg cliConfig) (*env, error) {
 	eng := sim.NewEngine(1)
 	pl := ofproto.NewPipeline()
-	d, err := dpif.Open(dpType, dpif.Config{Eng: eng, Pipeline: pl, Upcall: uc})
+	d, err := dpif.Open(dpType, dpif.Config{Eng: eng, Pipeline: pl, Upcall: cfg.uc, Cache: cfg.cc})
 	if err != nil {
 		return nil, err
 	}
@@ -177,8 +198,8 @@ func (e *env) inject(n int) {
 
 // show prints the ovs-vsctl show analog: bridges, their ports, and the
 // datapath type behind them.
-func show(dpType string, uc dpif.UpcallConfig) error {
-	e, err := newEnv(dpType, uc)
+func show(dpType string, cfg cliConfig) error {
+	e, err := newEnv(dpType, cfg)
 	if err != nil {
 		return err
 	}
@@ -203,8 +224,8 @@ func show(dpType string, uc dpif.UpcallConfig) error {
 
 // dumpFlows prints the installed megaflows after injecting traffic — the
 // ovs-appctl dpctl/dump-flows analog.
-func dumpFlows(dpType string, uc dpif.UpcallConfig) error {
-	e, err := newEnv(dpType, uc)
+func dumpFlows(dpType string, cfg cliConfig) error {
+	e, err := newEnv(dpType, cfg)
 	if err != nil {
 		return err
 	}
@@ -227,8 +248,8 @@ func dumpFlows(dpType string, uc dpif.UpcallConfig) error {
 
 // dpctlStats prints the unified datapath counters — the ovs-dpctl show
 // analog (lookups hit/missed/lost plus the megaflow count).
-func dpctlStats(dpType string, uc dpif.UpcallConfig) error {
-	e, err := newEnv(dpType, uc)
+func dpctlStats(dpType string, cfg cliConfig) error {
+	e, err := newEnv(dpType, cfg)
 	if err != nil {
 		return err
 	}
@@ -241,6 +262,23 @@ func dpctlStats(dpType string, uc dpif.UpcallConfig) error {
 	fmt.Printf("  lookups: hit:%d missed:%d lost:%d\n", st.Hits, st.Missed, st.Lost)
 	fmt.Printf("  slow path: processed:%d queue-drops:%d malformed:%d\n",
 		st.Processed, st.UpcallQueueDrops, st.MalformedDrops)
+
+	// Per-layer hit rates, summed across processing threads: the share of
+	// packets resolved at each level of the cache hierarchy. The kernel
+	// paths have no EMC/SMC, so everything lands on megaflow/upcall there.
+	var emc, smcN, mega, up, pkts uint64
+	for _, th := range e.dp.PerfStats() {
+		emc += th.EMCHits
+		smcN += th.SMCHits
+		mega += th.MegaflowHits
+		up += th.Upcalls
+		pkts += th.Packets
+	}
+	if pkts > 0 {
+		pct := func(n uint64) float64 { return 100 * float64(n) / float64(pkts) }
+		fmt.Printf("  cache hierarchy: emc:%.1f%% smc:%.1f%% megaflow:%.1f%% upcall:%.1f%%\n",
+			pct(emc), pct(smcN), pct(mega), pct(up))
+	}
 	fmt.Printf("  flows: %d\n", st.Flows)
 	fmt.Printf("  ports: %d\n", e.dp.PortCount())
 	return nil
@@ -251,12 +289,12 @@ func dpctlStats(dpType string, uc dpif.UpcallConfig) error {
 // bounded queue, the overflow is dropped and counted (ENOBUFS analog), the
 // handler's failed translations retry with exponential backoff, and once
 // the fault window closes the flow installs and traffic cuts through.
-func faultDemo(dpType string, uc dpif.UpcallConfig) error {
-	if uc.QueueCap == 0 {
-		uc = dpif.UpcallConfig{QueueCap: 4, ServiceInterval: 20 * sim.Microsecond,
+func faultDemo(dpType string, cfg cliConfig) error {
+	if cfg.uc.QueueCap == 0 {
+		cfg.uc = dpif.UpcallConfig{QueueCap: 4, ServiceInterval: 20 * sim.Microsecond,
 			RetryBase: 25 * sim.Microsecond, MaxRetries: 3}
 	}
-	e, err := newEnv(dpType, uc)
+	e, err := newEnv(dpType, cfg)
 	if err != nil {
 		return err
 	}
@@ -299,8 +337,8 @@ func faultDemo(dpType string, uc dpif.UpcallConfig) error {
 // pmdPerfShow prints the per-thread performance counters after injecting
 // traffic — the ovs-appctl dpif-netdev/pmd-perf-show analog: cycles per
 // stage, packets-per-batch mean, upcall latency percentiles.
-func pmdPerfShow(dpType string, uc dpif.UpcallConfig) error {
-	e, err := newEnv(dpType, uc)
+func pmdPerfShow(dpType string, cfg cliConfig) error {
+	e, err := newEnv(dpType, cfg)
 	if err != nil {
 		return err
 	}
@@ -314,8 +352,8 @@ func pmdPerfShow(dpType string, uc dpif.UpcallConfig) error {
 
 // pmdPerfTrace arms lifecycle tracing, injects traffic, and prints the
 // retained packet lifecycles (portin -> cache level -> portout, virtual time).
-func pmdPerfTrace(dpType string, uc dpif.UpcallConfig) error {
-	e, err := newEnv(dpType, uc)
+func pmdPerfTrace(dpType string, cfg cliConfig) error {
+	e, err := newEnv(dpType, cfg)
 	if err != nil {
 		return err
 	}
@@ -328,9 +366,9 @@ func pmdPerfTrace(dpType string, uc dpif.UpcallConfig) error {
 	return nil
 }
 
-func demo(dpType string, uc dpif.UpcallConfig) error {
+func demo(dpType string, cfg cliConfig) error {
 	// --- the switch side ---------------------------------------------------
-	e, err := newEnv(dpType, uc)
+	e, err := newEnv(dpType, cfg)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"ovsxdp/internal/conntrack"
 	"ovsxdp/internal/costmodel"
+	"ovsxdp/internal/dpcls"
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/ofproto"
 	"ovsxdp/internal/packet"
@@ -42,6 +43,26 @@ type Options struct {
 	// EMC enables the exact-match cache (ablation: the cache the kernel
 	// maintainers rejected).
 	EMC bool
+	// SMC enables the signature match cache between the EMC and the
+	// megaflow classifier (OVS's smc-enable=true, off by default): 4-byte
+	// entries covering two orders of magnitude more flows than the EMC at
+	// a slightly higher hit cost.
+	SMC bool
+	// SMCEntries overrides the signature cache capacity; zero uses
+	// costmodel.SMCEntries (1<<20, as in OVS).
+	SMCEntries int
+	// EMCInsertInvProb is the inverse probability of inserting a flow into
+	// the EMC after a miss resolves (OVS's emc-insert-inv-prob): a flow is
+	// inserted with probability 1/N, so thrashing workloads stop churning
+	// the EMC and stabilize in the SMC instead. Values <= 1 insert always
+	// (the default) and consume no randomness, keeping default runs
+	// byte-identical.
+	EMCInsertInvProb int
+	// BatchDedup enables batch-aware classification: packets of one rx
+	// batch that share a flow key are classified once and the rest pay
+	// only the per-packet flow-batch append (dp_netdev_input's per-flow
+	// batching). Off by default; the per-packet path is unchanged.
+	BatchDedup bool
 	// MetadataPrealloc is O4: dp_packet metadata in a preallocated
 	// contiguous array; disabled, every packet pays the mmap-allocation
 	// cost.
@@ -128,6 +149,7 @@ type Datapath struct {
 	// Stats.
 	Processed      uint64
 	EMCHits        uint64
+	SMCHits        uint64
 	MegaflowHits   uint64
 	Upcalls        uint64
 	UpcallErrors   uint64
@@ -175,6 +197,9 @@ func (d *Datapath) Ports() int { return len(d.ports) }
 func (d *Datapath) FlushFlows() {
 	for _, m := range d.pmds {
 		m.emc.Flush()
+		if m.smc != nil {
+			m.smc.Flush()
+		}
 		m.cls.Flush()
 	}
 }
@@ -261,6 +286,7 @@ func (d *Datapath) installNegativeFlow(m *PMD, key flow.Key) {
 	d.Eng.Schedule(ttl, func() {
 		if m.cls.Remove(e) {
 			m.FlushEMC()
+			m.InvalidateSMC(e)
 		}
 	})
 }
@@ -337,83 +363,108 @@ func (d *Datapath) processCounted(m *PMD, p *packet.Packet, depth int, count boo
 	key := flow.Extract(p)
 	m.charge(perf.StageRx, costmodel.ParseFlowKey)
 
-	var actions []ofproto.DPAction
-	hit := false
+	e := d.lookupHierarchy(m, key)
+	if e == nil {
+		// Genuine parse failures are split from policy drops before
+		// any slow-path resource is consumed (the kernel flow
+		// extractor returns EINVAL, not an upcall).
+		if flow.Malformed(p) {
+			d.MalformedDrops++
+			return
+		}
+		d.Upcalls++
+		if d.Opts.UpcallQueueCap > 0 {
+			// Bounded upcall queue: park the packet for the handler
+			// thread, or drop when full (ENOBUFS analog). Misses are
+			// counted above even when the queue refuses the packet,
+			// matching the kernel's lookup accounting.
+			m.traceResolved(perf.ResultUpcall)
+			if len(m.upcallQ) >= d.Opts.UpcallQueueCap {
+				d.UpcallQueueDrops++
+				m.Perf.UpcallQueueDrops++
+				return
+			}
+			m.upcallQ = append(m.upcallQ,
+				&pendingUpcall{key: key, pkt: p, enq: d.Eng.Now()})
+			if n := uint64(len(m.upcallQ)); n > m.Perf.UpcallQueuePeak {
+				m.Perf.UpcallQueuePeak = n
+			}
+			m.kickUpcalls()
+			return
+		}
+		// Legacy path: inline slow-path translation on this PMD.
+		upcallBefore := cpu.BusyTotal()
+		m.charge(perf.StageUpcall, costmodel.UpcallCost)
+		mf, err := d.translate(key)
+		m.Perf.AddUpcall(cpu.BusyTotal() - upcallBefore)
+		m.traceResolved(perf.ResultUpcall)
+		if err != nil {
+			d.UpcallErrors++
+			d.Drops++
+			d.installNegativeFlow(m, key)
+			return
+		}
+		e = m.cls.Insert(key, mf.Mask, mf.Actions)
+		m.cacheInsert(key, e)
+	}
+
+	actions, _ := e.Actions.([]ofproto.DPAction)
+	if len(actions) == 0 {
+		d.Drops++
+		return
+	}
+	d.execute(m, p, actions, depth)
+}
+
+// lookupHierarchy resolves key through the cache hierarchy — EMC, SMC,
+// megaflow classifier — charging each level probed and counting the hit at
+// the level that resolved it, exactly as dfc_processing walks the caches.
+// A dpcls hit back-fills the faster caches; nil means every level missed
+// and the caller owns the slow path.
+func (d *Datapath) lookupHierarchy(m *PMD, key flow.Key) *dpcls.Entry {
 	if d.Opts.EMC {
 		if e, ok := m.emc.Lookup(key); ok {
 			m.charge(perf.StageEMC, costmodel.EMCHit)
 			if m.emc.Len() > d.Opts.ColdFlowThreshold {
 				m.charge(perf.StageEMC, costmodel.ColdFlowCacheMiss)
 			}
-			actions, _ = e.Actions.([]ofproto.DPAction)
 			d.EMCHits++
 			m.Perf.EMCHits++
+			m.lastLevel = perf.ResultEMC
 			m.traceResolved(perf.ResultEMC)
-			hit = true
-		} else {
-			m.charge(perf.StageEMC, costmodel.EMCMissProbe)
+			return e
 		}
+		m.charge(perf.StageEMC, costmodel.EMCMissProbe)
 	}
-	if !hit {
-		e, probes := m.cls.Lookup(key)
-		m.charge(perf.StageDpcls, sim.Time(probes)*costmodel.DpclsLookupPerSubtable)
-		if e == nil {
-			// Genuine parse failures are split from policy drops before
-			// any slow-path resource is consumed (the kernel flow
-			// extractor returns EINVAL, not an upcall).
-			if flow.Malformed(p) {
-				d.MalformedDrops++
-				return
+	if m.smc != nil {
+		if e, ok := m.smc.Lookup(key); ok {
+			m.charge(perf.StageSMC, costmodel.SMCHit)
+			if m.smc.Len() > d.Opts.ColdFlowThreshold {
+				m.charge(perf.StageSMC, costmodel.ColdFlowCacheMiss)
 			}
-			d.Upcalls++
-			if d.Opts.UpcallQueueCap > 0 {
-				// Bounded upcall queue: park the packet for the handler
-				// thread, or drop when full (ENOBUFS analog). Misses are
-				// counted above even when the queue refuses the packet,
-				// matching the kernel's lookup accounting.
-				m.traceResolved(perf.ResultUpcall)
-				if len(m.upcallQ) >= d.Opts.UpcallQueueCap {
-					d.UpcallQueueDrops++
-					m.Perf.UpcallQueueDrops++
-					return
-				}
-				m.upcallQ = append(m.upcallQ,
-					&pendingUpcall{key: key, pkt: p, enq: d.Eng.Now()})
-				if n := uint64(len(m.upcallQ)); n > m.Perf.UpcallQueuePeak {
-					m.Perf.UpcallQueuePeak = n
-				}
-				m.kickUpcalls()
-				return
-			}
-			// Legacy path: inline slow-path translation on this PMD.
-			upcallBefore := cpu.BusyTotal()
-			m.charge(perf.StageUpcall, costmodel.UpcallCost)
-			mf, err := d.translate(key)
-			m.Perf.AddUpcall(cpu.BusyTotal() - upcallBefore)
-			m.traceResolved(perf.ResultUpcall)
-			if err != nil {
-				d.UpcallErrors++
-				d.Drops++
-				d.installNegativeFlow(m, key)
-				return
-			}
-			e = m.cls.Insert(key, mf.Mask, mf.Actions)
-		} else {
-			d.MegaflowHits++
-			m.Perf.MegaflowHits++
-			m.traceResolved(perf.ResultMegaflow)
+			d.SMCHits++
+			m.Perf.SMCHits++
+			m.lastLevel = perf.ResultSMC
+			m.traceResolved(perf.ResultSMC)
+			// An SMC hit refreshes the EMC probabilistically, as
+			// dfc_processing does on its way out.
+			m.emcInsert(key, e)
+			return e
 		}
-		if d.Opts.EMC {
-			m.emc.Insert(key, e)
-		}
-		actions, _ = e.Actions.([]ofproto.DPAction)
+		m.charge(perf.StageSMC, costmodel.SMCMissProbe)
 	}
-
-	if len(actions) == 0 {
-		d.Drops++
-		return
+	e, probes := m.cls.Lookup(key)
+	m.charge(perf.StageDpcls, sim.Time(probes)*costmodel.DpclsLookupPerSubtable)
+	if e == nil {
+		m.lastLevel = perf.ResultNone
+		return nil
 	}
-	d.execute(m, p, actions, depth)
+	d.MegaflowHits++
+	m.Perf.MegaflowHits++
+	m.lastLevel = perf.ResultMegaflow
+	m.traceResolved(perf.ResultMegaflow)
+	m.cacheInsert(key, e)
+	return e
 }
 
 // traceResolved notes the caching level that resolved the packet currently

@@ -11,6 +11,7 @@ import (
 	"ovsxdp/internal/packet"
 	"ovsxdp/internal/perf"
 	"ovsxdp/internal/sim"
+	"ovsxdp/internal/smc"
 )
 
 // Mode selects how a packet-processing thread is driven.
@@ -57,10 +58,30 @@ type PMD struct {
 	CPU *sim.CPU
 	dp  *Datapath
 
-	emc  *emc.Cache[*dpcls.Entry]
+	emc *emc.Cache[*dpcls.Entry]
+	// smc is the signature match cache, allocated only when Options.SMC
+	// is set (it is ~4 MB per PMD at the OVS-default capacity).
+	smc  *smc.Cache
 	cls  *dpcls.Classifier
 	rxqs []RxQueue
 	mode Mode
+
+	// insRand drives probabilistic EMC insertion (emc-insert-inv-prob).
+	// It is seeded from the PMD id alone — never from the engine's RNG
+	// stream, whose draw order calibrated experiments depend on — and is
+	// only consulted when EMCInsertInvProb > 1, so default runs stay
+	// byte-identical.
+	insRand *sim.Rand
+
+	// batchKeys / batchLeaders / batchGroupOf are scratch buffers for
+	// batch-aware classification, reused across iterations so the batch
+	// path allocates nothing in steady state.
+	batchKeys    []flow.Key
+	batchLeaders []int
+	batchGroupOf []int
+	// lastLevel is the cache level the most recent lookupHierarchy call
+	// resolved at; the batch path uses it to attribute follower packets.
+	lastLevel perf.Result
 
 	running bool
 	stopped bool
@@ -107,6 +128,14 @@ func (d *Datapath) NewPMD(mode Mode, cpu *sim.CPU) *PMD {
 		mode:    mode,
 		touched: make(map[Port]bool),
 		Perf:    perf.NewStats(),
+		insRand: sim.NewRand(0x51c0ffee ^ uint64(id)<<20),
+	}
+	if d.Opts.SMC {
+		entries := d.Opts.SMCEntries
+		if entries <= 0 {
+			entries = costmodel.SMCEntries
+		}
+		m.smc = smc.New(entries, uint32(id)*0x85eb+3)
 	}
 	if d.traceDepth > 0 {
 		m.Perf.EnableTrace(d.traceDepth)
@@ -131,12 +160,54 @@ func (m *PMD) AssignRxQueue(p Port, q int) {
 // EMCStats exposes cache hit counters for experiments.
 func (m *PMD) EMCStats() (hits, misses uint64) { return m.emc.Hits, m.emc.Misses }
 
+// SMCStats exposes signature-cache hit counters for experiments; both are
+// zero when the SMC is disabled.
+func (m *PMD) SMCStats() (hits, misses uint64) {
+	if m.smc == nil {
+		return 0, 0
+	}
+	return m.smc.Hits, m.smc.Misses
+}
+
 // Classifier exposes the megaflow classifier (tests, flow dumping).
 func (m *PMD) Classifier() *dpcls.Classifier { return m.cls }
 
 // FlushEMC drops the thread's exact-match cache; stale entries rebuild from
 // the classifier on the next packets (megaflow eviction).
 func (m *PMD) FlushEMC() { m.emc.Flush() }
+
+// InvalidateSMC unlinks a removed megaflow from the signature cache's
+// indirection table (megaflow delete, revalidator sweep, negative-flow
+// expiry), so stale signatures miss instead of mis-delivering.
+func (m *PMD) InvalidateSMC(e *dpcls.Entry) {
+	if m.smc != nil {
+		m.smc.Invalidate(e)
+	}
+}
+
+// emcInsert inserts into the EMC, subject to the configured inverse
+// insertion probability. Values <= 1 insert always and draw no randomness.
+func (m *PMD) emcInsert(key flow.Key, e *dpcls.Entry) {
+	if !m.dp.Opts.EMC {
+		return
+	}
+	if p := m.dp.Opts.EMCInsertInvProb; p > 1 && m.insRand.Uint32()%uint32(p) != 0 {
+		return
+	}
+	m.emc.Insert(key, e)
+}
+
+// cacheInsert back-fills the fast caches after a dpcls hit or upcall
+// install: the EMC probabilistically, the SMC (when enabled) always — the
+// SMC is what keeps high-flow-count workloads out of the classifier once
+// the EMC saturates.
+func (m *PMD) cacheInsert(key flow.Key, e *dpcls.Entry) {
+	m.emcInsert(key, e)
+	if m.smc != nil {
+		m.charge(perf.StageSMC, costmodel.SMCInsert)
+		m.smc.Insert(key, e)
+	}
+}
 
 // Start launches the thread's loop.
 func (m *PMD) Start() {
@@ -202,9 +273,7 @@ func (m *PMD) iterate() {
 			// each batch (Table 2's 0.8 vs 4.8 Mpps).
 			m.charge(perf.StageRx, costmodel.NonPMDPollGap)
 		}
-		for _, p := range pkts {
-			m.dp.processOne(m, p, 0)
-		}
+		m.dp.processBatch(m, pkts)
 	}
 	if work > 0 {
 		if !m.active {

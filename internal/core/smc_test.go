@@ -1,0 +1,213 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/ofproto"
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/sim"
+)
+
+// sinkPort is an output-only port for direct-execution tests: deliveries
+// are counted, nothing is charged, nothing is queued.
+type sinkPort struct {
+	id    uint32
+	name  string
+	recvd int
+}
+
+func (s *sinkPort) ID() uint32                             { return s.id }
+func (s *sinkPort) Name() string                           { return s.name }
+func (s *sinkPort) NumRxQueues() int                       { return 0 }
+func (s *sinkPort) Rx(*sim.CPU, int, int) []*packet.Packet { return nil }
+func (s *sinkPort) Tx(_ *sim.CPU, _ int, p *packet.Packet) { s.recvd++ }
+func (s *sinkPort) Flush(*sim.CPU, int)                    {}
+func (s *sinkPort) Arm(int, func())                        {}
+
+// inPkt is udpPkt arriving on port 1 (Execute bypasses the rx path that
+// normally stamps InPort).
+func inPkt(sport uint16) *packet.Packet {
+	p := udpPkt(sport)
+	p.InPort = 1
+	return p
+}
+
+// outputPipeline sends in_port=1 to the given port.
+func outputPipeline(out uint32) *ofproto.Pipeline {
+	pl := ofproto.NewPipeline()
+	pl.AddRule(&ofproto.Rule{TableID: 0, Priority: 1,
+		Match: ofproto.NewMatch(flow.Fields{InPort: 1},
+			flow.NewMaskBuilder().InPort().Build()),
+		Actions: []ofproto.Action{ofproto.Output(out)}})
+	return pl
+}
+
+// TestSMCServesRepeatTraffic checks the signature cache resolves repeat
+// packets when the EMC is out of the picture: one upcall installs the
+// megaflow and registers it in the SMC; every successor is an SMC hit.
+func TestSMCServesRepeatTraffic(t *testing.T) {
+	eng := sim.NewEngine(1)
+	opts := DefaultOptions()
+	opts.EMC = false
+	opts.SMC = true
+	dp := NewDatapath(eng, outputPipeline(2), opts)
+	out := &sinkPort{id: 2, name: "out"}
+	dp.AddPort(&sinkPort{id: 1, name: "in"})
+	dp.AddPort(out)
+
+	for i := 0; i < 8; i++ {
+		dp.Execute(inPkt(7777))
+	}
+	if out.recvd != 8 {
+		t.Fatalf("delivered %d/8", out.recvd)
+	}
+	if dp.Upcalls != 1 || dp.SMCHits != 7 || dp.EMCHits != 0 {
+		t.Fatalf("upcalls=%d smcHits=%d emcHits=%d, want 1/7/0",
+			dp.Upcalls, dp.SMCHits, dp.EMCHits)
+	}
+	m := dp.PMDs()[0]
+	if m.Perf.SMCHits != 7 {
+		t.Fatalf("perf SMCHits = %d, want 7", m.Perf.SMCHits)
+	}
+}
+
+// TestSMCInvalidationPreventsStaleDelivery is the safety property behind
+// the 16-bit indirection: after a megaflow is removed (flow delete or a
+// revalidator sweep) and its SMC index invalidated, the next packet of that
+// flow must take a fresh upcall and follow the NEW forwarding decision —
+// never resolve through the stale cache entry to the old output port.
+func TestSMCInvalidationPreventsStaleDelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	opts := DefaultOptions()
+	opts.EMC = false
+	opts.SMC = true
+	dp := NewDatapath(eng, outputPipeline(2), opts)
+	oldOut := &sinkPort{id: 2, name: "old"}
+	newOut := &sinkPort{id: 3, name: "new"}
+	dp.AddPort(&sinkPort{id: 1, name: "in"})
+	dp.AddPort(oldOut)
+	dp.AddPort(newOut)
+
+	// Warm: the flow resolves through the SMC to port 2.
+	for i := 0; i < 4; i++ {
+		dp.Execute(inPkt(7777))
+	}
+	if oldOut.recvd != 4 || dp.SMCHits != 3 {
+		t.Fatalf("warm phase: delivered=%d smcHits=%d, want 4/3", oldOut.recvd, dp.SMCHits)
+	}
+
+	// Revalidation: the megaflow is removed and the forwarding decision
+	// changes to port 3 (the rule update that made the old flow stale).
+	m := dp.PMDs()[0]
+	entries := m.Classifier().Entries()
+	if len(entries) != 1 {
+		t.Fatalf("installed flows = %d, want 1", len(entries))
+	}
+	e := entries[0]
+	if !m.Classifier().Remove(e) {
+		t.Fatal("Remove reported the flow missing")
+	}
+	m.FlushEMC()
+	m.InvalidateSMC(e)
+	pl2 := outputPipeline(3)
+	dp.SetUpcall(pl2.Translate)
+
+	// The same flow again: the stale SMC index must miss, forcing a fresh
+	// upcall against the new pipeline; nothing may reach the old port.
+	for i := 0; i < 4; i++ {
+		dp.Execute(inPkt(7777))
+	}
+	if oldOut.recvd != 4 {
+		t.Fatalf("stale SMC entry mis-delivered: old port got %d packets, want 4", oldOut.recvd)
+	}
+	if newOut.recvd != 4 {
+		t.Fatalf("new port got %d/4 packets after revalidation", newOut.recvd)
+	}
+	if dp.Upcalls != 2 {
+		t.Fatalf("upcalls = %d, want 2 (invalidated index must not serve)", dp.Upcalls)
+	}
+	if dp.SMCHits != 6 {
+		t.Fatalf("smcHits = %d, want 6 (3 before + 3 after reinstall)", dp.SMCHits)
+	}
+}
+
+// TestProbabilisticEMCInsertDeterminism runs the same multi-flow traffic
+// twice with a 1/8 EMC insertion probability and requires byte-identical
+// counters: the insertion RNG is seeded from the PMD id, so randomized
+// admission stays reproducible run to run.
+func TestProbabilisticEMCInsertDeterminism(t *testing.T) {
+	type fingerprint struct {
+		EMCHits, SMCHits, MegaflowHits, Upcalls uint64
+		Delivered                               int
+		EMCLen                                  int
+		Busy                                    sim.Time
+	}
+	run := func() fingerprint {
+		eng := sim.NewEngine(1)
+		opts := DefaultOptions()
+		opts.SMC = true
+		opts.EMCInsertInvProb = 8
+		dp := NewDatapath(eng, outputPipeline(2), opts)
+		out := &sinkPort{id: 2, name: "out"}
+		dp.AddPort(&sinkPort{id: 1, name: "in"})
+		dp.AddPort(out)
+		// 64 flows, 4 rounds each, interleaved so every round after the
+		// first exercises whichever cache level admission chose.
+		for round := 0; round < 4; round++ {
+			for f := 0; f < 64; f++ {
+				dp.Execute(inPkt(uint16(5000 + f)))
+			}
+		}
+		m := dp.PMDs()[0]
+		return fingerprint{
+			EMCHits: dp.EMCHits, SMCHits: dp.SMCHits,
+			MegaflowHits: dp.MegaflowHits, Upcalls: dp.Upcalls,
+			Delivered: out.recvd, EMCLen: m.emc.Len(),
+			Busy: m.CPU.BusyTotal(),
+		}
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two seeded runs diverge:\n  run1: %+v\n  run2: %+v", a, b)
+	}
+	// The gate must have actually skipped some insertions: with p=1/8 and
+	// 4 attempts per flow, nowhere near all 64 flows land in the EMC.
+	if a.EMCLen == 0 || a.EMCLen >= 64 {
+		t.Fatalf("EMC holds %d/64 flows — insertion probability not applied", a.EMCLen)
+	}
+	// Conservation: every packet resolves at exactly one level.
+	if got := a.EMCHits + a.SMCHits + a.MegaflowHits + a.Upcalls; got != 256 {
+		t.Fatalf("hit split sums to %d, want 256", got)
+	}
+	if a.Delivered != 256 {
+		t.Fatalf("delivered %d/256", a.Delivered)
+	}
+}
+
+// TestEMCInsertProbabilityOneIsUnchanged pins the byte-identity guarantee
+// for the default configuration: inverse probability <= 1 must not draw
+// randomness or change any observable outcome relative to the always-insert
+// legacy path.
+func TestEMCInsertProbabilityOneIsUnchanged(t *testing.T) {
+	run := func(invProb int) (uint64, int, sim.Time) {
+		eng := sim.NewEngine(1)
+		opts := DefaultOptions()
+		opts.EMCInsertInvProb = invProb
+		dp := NewDatapath(eng, outputPipeline(2), opts)
+		out := &sinkPort{id: 2, name: "out"}
+		dp.AddPort(&sinkPort{id: 1, name: "in"})
+		dp.AddPort(out)
+		for i := 0; i < 32; i++ {
+			dp.Execute(inPkt(uint16(6000 + i%4)))
+		}
+		return dp.EMCHits, out.recvd, dp.PMDs()[0].CPU.BusyTotal()
+	}
+	h0, d0, b0 := run(0)
+	h1, d1, b1 := run(1)
+	if h0 != h1 || d0 != d1 || b0 != b1 {
+		t.Fatalf("invProb 0 vs 1 diverge: hits %d/%d delivered %d/%d busy %d/%d",
+			h0, h1, d0, d1, b0, b1)
+	}
+}

@@ -72,6 +72,32 @@ const (
 	// lookup when the EMC misses.
 	EMCMissProbe sim.Time = 10
 
+	// SMCHit is a signature-match-cache hit: one 4-way bucket probe (a
+	// single cache line of 16-bit signatures), the indirection-table load,
+	// and the mandatory verification of the candidate megaflow against the
+	// packet's key (mask application + key compare — the same work as one
+	// dpcls subtable probe minus its hash). That puts it between an EMC
+	// hit and a single-subtable dpcls lookup, matching the SMC commit
+	// message's "slightly slower than EMC, much faster than the megaflow
+	// cache at high flow counts".
+	SMCHit sim.Time = 25
+
+	// SMCMissProbe is the wasted SMC bucket probe preceding a dpcls
+	// lookup when the SMC misses: one cache line, no verification.
+	SMCMissProbe sim.Time = 8
+
+	// SMCInsert is writing one (signature, index) pair after a dpcls or
+	// upcall resolution, including the occasional indirection-table
+	// registration, amortized. Paid only when the SMC is enabled, which is
+	// why smc-enable=false (the OVS default) costs nothing.
+	SMCInsert sim.Time = 8
+
+	// BatchedFlowUpdate is the per-packet cost of appending to an existing
+	// per-flow batch during batched classification instead of running a
+	// full cache probe (dp_netdev's packet_batch_per_flow_update): a
+	// pointer store and a count increment.
+	BatchedFlowUpdate sim.Time = 4
+
 	// DpclsLookupPerSubtable is the cost per tuple-space subtable probed
 	// during a megaflow (dpcls) lookup: mask application, hash, compare.
 	DpclsLookupPerSubtable sim.Time = 29
@@ -410,6 +436,11 @@ const BatchSize = 32
 // EMCEntries is the exact-match-cache capacity (8192 entries in OVS,
 // 2-way associative).
 const EMCEntries = 8192
+
+// SMCEntries is the signature-match-cache capacity (SMC_ENTRIES = 1<<20 in
+// OVS, 4-way associative, 4 bytes per entry): two orders of magnitude more
+// flows than the EMC in ~4 MB per PMD.
+const SMCEntries = 1 << 20
 
 // Link rates used by the paper's testbeds.
 const (

@@ -49,7 +49,11 @@ type subtable struct {
 // Classifier is the tuple-space-search megaflow table. It is used from a
 // single PMD thread (each PMD owns one, as in OVS) so it needs no locking.
 type Classifier struct {
+	// subtables stays a slice because Lookup probes it in descending
+	// hit-count order; byMask indexes the same subtables so Insert and
+	// Remove resolve a mask in O(1) instead of scanning.
 	subtables []*subtable
+	byMask    map[flow.Mask]*subtable
 	basis     uint32
 	count     int
 
@@ -63,7 +67,11 @@ type Classifier struct {
 
 // New returns an empty classifier.
 func New(hashBasis uint32) *Classifier {
-	return &Classifier{basis: hashBasis, resort: resortInterval}
+	return &Classifier{
+		byMask: make(map[flow.Mask]*subtable),
+		basis:  hashBasis,
+		resort: resortInterval,
+	}
 }
 
 // resortInterval is how many lookups happen between subtable reorderings.
@@ -111,6 +119,7 @@ func (c *Classifier) Insert(key flow.Key, mask flow.Mask, actions any) *Entry {
 	if st == nil {
 		st = &subtable{mask: mask, entries: make(map[flow.Key]*Entry)}
 		c.subtables = append(c.subtables, st)
+		c.byMask[mask] = st
 	}
 	masked := key.Apply(mask)
 	if _, existed := st.entries[masked]; !existed {
@@ -142,6 +151,7 @@ func (c *Classifier) Remove(e *Entry) bool {
 // Flush removes every megaflow.
 func (c *Classifier) Flush() {
 	c.subtables = nil
+	c.byMask = make(map[flow.Mask]*subtable)
 	c.count = 0
 }
 
@@ -173,15 +183,11 @@ func (c *Classifier) AvgProbes() float64 {
 }
 
 func (c *Classifier) findSubtable(mask flow.Mask) *subtable {
-	for _, st := range c.subtables {
-		if st.mask == mask {
-			return st
-		}
-	}
-	return nil
+	return c.byMask[mask]
 }
 
 func (c *Classifier) dropSubtable(st *subtable) {
+	delete(c.byMask, st.mask)
 	for i, s := range c.subtables {
 		if s == st {
 			c.subtables = append(c.subtables[:i], c.subtables[i+1:]...)

@@ -252,3 +252,44 @@ func TestInsertLookupProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMaskIndexConsistency exercises the byMask index through the full
+// subtable lifecycle: insert under many masks, remove until subtables drop,
+// re-insert a dropped mask, and flush — the slice and the index must agree
+// throughout.
+func TestMaskIndexConsistency(t *testing.T) {
+	c := New(0)
+	var entries []*Entry
+	masks := make([]flow.Mask, 16)
+	for i := range masks {
+		masks[i] = flow.NewMaskBuilder().InPort().EthType().IP4Src(8 + i).Build()
+		for j := 0; j < 3; j++ {
+			k := keyFor(hdr.MakeIP4(10, byte(i), byte(j), 1), uint16(1000+j))
+			entries = append(entries, c.Insert(k, masks[i], "a"))
+		}
+	}
+	if c.Subtables() != 16 {
+		t.Fatalf("subtables = %d, want 16", c.Subtables())
+	}
+	// Removing every entry of a mask must drop its subtable from both the
+	// probe order and the index; a later insert under the same mask must
+	// create a fresh subtable, not resurrect state.
+	for _, e := range entries {
+		c.Remove(e)
+	}
+	if c.Subtables() != 0 || c.Len() != 0 {
+		t.Fatalf("subtables=%d len=%d after removing all", c.Subtables(), c.Len())
+	}
+	k := keyFor(hdr.MakeIP4(10, 0, 0, 1), 1000)
+	e := c.Insert(k, masks[0], "b")
+	if got, _ := c.Lookup(k); got != e {
+		t.Fatalf("lookup after reinsert = %v, want %v", got, e)
+	}
+	c.Flush()
+	if got := c.Insert(k, masks[0], "c"); got == nil {
+		t.Fatal("insert after flush failed")
+	}
+	if c.Subtables() != 1 {
+		t.Fatalf("subtables after flush+insert = %d", c.Subtables())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"ovsxdp/internal/core"
 	"ovsxdp/internal/dpif"
 	"ovsxdp/internal/faultinject"
 	"ovsxdp/internal/flow"
@@ -57,12 +58,17 @@ func forwardPipeline() *ofproto.Pipeline {
 }
 
 // runScenario drives one provider through the shared port/flow/upcall/stats
-// scenario.
-func runScenario(t *testing.T, name string) observation {
+// scenario. mutate, when non-nil, adjusts the Config before Open — the hook
+// the SMC variant uses to reshape the cache hierarchy.
+func runScenario(t *testing.T, name string, mutate func(*dpif.Config)) observation {
 	t.Helper()
 	eng := sim.NewEngine(1)
 	pl := forwardPipeline()
-	d, err := dpif.Open(name, dpif.Config{Eng: eng, Pipeline: pl})
+	cfg := dpif.Config{Eng: eng, Pipeline: pl}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := dpif.Open(name, cfg)
 	if err != nil {
 		t.Fatalf("Open(%q): %v", name, err)
 	}
@@ -149,7 +155,7 @@ func TestConformance(t *testing.T) {
 	}
 	obs := make(map[string]observation, len(types))
 	for _, name := range types {
-		o := runScenario(t, name)
+		o := runScenario(t, name, nil)
 		if o.Type != name {
 			t.Errorf("Open(%q).Type() = %q", name, o.Type)
 		}
@@ -176,6 +182,61 @@ func TestConformance(t *testing.T) {
 		if !reflect.DeepEqual(obs[name], ref) {
 			t.Errorf("provider %q diverges from netdev:\n  %q: %+v\n  netdev: %+v",
 				name, name, obs[name], ref)
+		}
+	}
+}
+
+// TestConformanceWithSMC reruns the shared scenario with the EMC disabled
+// and the signature match cache enabled, so the warm phase's repeat packets
+// must resolve through the SMC on netdev. The kernel-path providers ignore
+// the CacheConfig (they have no SMC), so their SMCHits stay zero; the
+// cross-provider comparison normalizes the field away and requires every
+// other observable — hit totals, upcall counts, flow lifecycles — to remain
+// identical. This is the guarantee that enabling the SMC changes where
+// packets resolve, never what happens to them.
+func TestConformanceWithSMC(t *testing.T) {
+	withSMC := func(cfg *dpif.Config) {
+		opts := core.DefaultOptions()
+		opts.EMC = false // force repeat traffic onto the SMC level
+		cfg.Options = opts
+		cfg.Cache = dpif.CacheConfig{SMC: true}
+	}
+	types := dpif.Types()
+	obs := make(map[string]observation, len(types))
+	for _, name := range types {
+		o := runScenario(t, name, withSMC)
+		o.Type = ""
+		obs[name] = o
+	}
+
+	// netdev must have resolved every warm repeat through the SMC: 8
+	// packets, 1 upcall, 7 signature-cache hits.
+	ref := obs["netdev"]
+	if want := (dpif.Stats{Hits: 7, SMCHits: 7, Missed: 1, Processed: 8, Flows: 1}); ref.AfterWarm != want {
+		t.Errorf("netdev AfterWarm with SMC = %+v, want %+v", ref.AfterWarm, want)
+	}
+	// FlowDel invalidated the SMC's megaflow index, so the re-executed
+	// packet must take a fresh upcall rather than resolve via the stale
+	// entry (Missed climbs to 2); the subsequent FlowPut packet hits the
+	// classifier directly.
+	if ref.AfterReExec.Missed != 2 {
+		t.Errorf("netdev AfterReExec.Missed = %d, want 2 (stale SMC index must not serve)", ref.AfterReExec.Missed)
+	}
+
+	// Cross-provider: normalize the netdev-only SMC split out of the stats
+	// blocks, then require deep equality as in the base conformance run.
+	normalize := func(o observation) observation {
+		o.AfterWarm.SMCHits = 0
+		o.AfterReExec.SMCHits = 0
+		o.AfterPut.SMCHits = 0
+		o.AfterPortDel.SMCHits = 0
+		return o
+	}
+	nref := normalize(ref)
+	for _, name := range types {
+		if got := normalize(obs[name]); !reflect.DeepEqual(got, nref) {
+			t.Errorf("provider %q diverges from netdev with SMC enabled:\n  %q: %+v\n  netdev: %+v",
+				name, name, got, nref)
 		}
 	}
 }
@@ -213,7 +274,7 @@ func TestPerfStatsAcrossProviders(t *testing.T) {
 		var recs []perf.TraceRecord
 		for _, th := range threads {
 			packets += th.Packets
-			hits += th.EMCHits + th.MegaflowHits
+			hits += th.EMCHits + th.SMCHits + th.MegaflowHits
 			upcalls += th.Upcalls
 			busy += th.BusyCycles()
 			recs = append(recs, th.Trace()...)

@@ -74,6 +74,10 @@ type Stats struct {
 	Hits   uint64
 	Missed uint64
 	Lost   uint64
+	// SMCHits is the signature-match-cache share of Hits. It is always
+	// zero for the kernel-path providers (no SMC) and for netdev with the
+	// SMC disabled, so cross-provider comparisons normalize it away.
+	SMCHits uint64
 	// UpcallQueueDrops counts packets refused because the bounded upcall
 	// queue was full — the kernel's ENOBUFS on the per-port netlink
 	// socket, and its netdev analog.

@@ -29,6 +29,18 @@ func init() {
 			opts.UpcallRetryBase = cfg.Upcall.RetryBase
 			opts.UpcallMaxRetries = cfg.Upcall.MaxRetries
 		}
+		if cfg.Cache.SMC {
+			opts.SMC = true
+			if cfg.Cache.SMCEntries > 0 {
+				opts.SMCEntries = cfg.Cache.SMCEntries
+			}
+		}
+		if cfg.Cache.EMCInsertInvProb > 1 {
+			opts.EMCInsertInvProb = cfg.Cache.EMCInsertInvProb
+		}
+		if cfg.Cache.BatchDedup {
+			opts.BatchDedup = true
+		}
 		return NewNetdev(core.NewDatapath(cfg.Eng, cfg.Pipeline, opts)), nil
 	})
 }
@@ -91,6 +103,7 @@ func (d *Netdev) FlowDel(f Flow) bool {
 	}
 	removed := m.Classifier().Remove(f.Entry)
 	m.FlushEMC()
+	m.InvalidateSMC(f.Entry)
 	return removed
 }
 
@@ -114,11 +127,12 @@ func (d *Netdev) Execute(p *packet.Packet) { d.dp.Execute(p) }
 // SetUpcall implements Dpif.
 func (d *Netdev) SetUpcall(fn UpcallFunc) { d.dp.SetUpcall(fn) }
 
-// Stats implements Dpif: hits combine the EMC and megaflow levels, exactly
-// the two caches a packet can shortcut through.
+// Stats implements Dpif: hits combine every caching level a packet can
+// shortcut through — EMC, SMC, and the megaflow classifier.
 func (d *Netdev) Stats() Stats {
 	return Stats{
-		Hits:             d.dp.EMCHits + d.dp.MegaflowHits,
+		Hits:             d.dp.EMCHits + d.dp.SMCHits + d.dp.MegaflowHits,
+		SMCHits:          d.dp.SMCHits,
 		Missed:           d.dp.Upcalls,
 		Lost:             d.dp.Drops,
 		UpcallQueueDrops: d.dp.UpcallQueueDrops,

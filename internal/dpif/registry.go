@@ -20,14 +20,31 @@ type UpcallConfig struct {
 	MaxRetries      int
 }
 
+// CacheConfig tunes the userspace cache hierarchy, provider-independently
+// expressed so callers need not import core: SMC enables the signature
+// match cache (smc-enable=true), SMCEntries overrides its capacity (zero
+// uses the OVS default), EMCInsertInvProb is the inverse EMC insertion
+// probability (emc-insert-inv-prob; <= 1 inserts always), and BatchDedup
+// enables batch-aware classification. The kernel-path providers (netlink,
+// ebpf) have no EMC or SMC and ignore it, exactly as the real options table
+// only reaches dpif-netdev.
+type CacheConfig struct {
+	SMC              bool
+	SMCEntries       int
+	EMCInsertInvProb int
+	BatchDedup       bool
+}
+
 // Config parameterizes Open. Options carries provider-specific tunables
 // (core.Options for the netdev provider); providers that take none ignore
-// it. Upcall applies to every provider.
+// it. Upcall applies to every provider; Cache applies to providers with a
+// userspace cache hierarchy.
 type Config struct {
 	Eng      *sim.Engine
 	Pipeline *ofproto.Pipeline
 	Options  any
 	Upcall   UpcallConfig
+	Cache    CacheConfig
 }
 
 // Factory builds one provider instance.

@@ -1,0 +1,40 @@
+package emc
+
+import (
+	"testing"
+
+	"ovsxdp/internal/flow"
+)
+
+// BenchmarkEMCLookup measures the wall-clock exact-match hit path: one
+// hash, one set probe, one full-key compare.
+func BenchmarkEMCLookup(b *testing.B) {
+	c := New[int](DefaultEntries, 0)
+	const flows = 4096
+	keys := make([]flow.Key, flows)
+	for i := range keys {
+		keys[i] = keyN(i)
+		c.Insert(keys[i], i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(keys[i%flows])
+	}
+}
+
+// BenchmarkEMCInsert measures the steady-state insert (update-in-place of
+// a cached flow).
+func BenchmarkEMCInsert(b *testing.B) {
+	c := New[int](DefaultEntries, 0)
+	const flows = 4096
+	keys := make([]flow.Key, flows)
+	for i := range keys {
+		keys[i] = keyN(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(keys[i%flows], i)
+	}
+}

@@ -106,16 +106,38 @@ type BedConfig struct {
 	// KernelQueues: RSS width for the kernel datapath (hyperthreads).
 	KernelQueues int
 	Seed         uint64
+	// Pipeline overrides the default port-forwarding pipeline (nil keeps
+	// it). The cache-hierarchy sweep uses this to install a multi-subtable
+	// rule set so the megaflow classifier has real tuple-space work to do.
+	Pipeline *ofproto.Pipeline
+}
+
+// DefaultCache overlays cache-hierarchy toggles onto every bed DefaultBed
+// builds, so `ovsbench -smc`/`-emc-prob` can rerun the stock experiments
+// with the signature cache on or probabilistic EMC insertion. The zero
+// value changes nothing, keeping default measured outputs byte-identical.
+// Scenarios that pin their own cache configuration (cachesweep) overwrite
+// Opts after DefaultBed and are unaffected.
+var DefaultCache struct {
+	SMC              bool
+	EMCInsertInvProb int
 }
 
 // DefaultBed returns the Section 5.2 defaults.
 func DefaultBed(kind DPKind, flows int) BedConfig {
-	return BedConfig{
+	cfg := BedConfig{
 		Kind: kind, Flows: flows, FrameSize: 64, Queues: 1,
 		LinkRate: costmodel.LinkRate25G,
 		Mode:     core.ModePoll, Lock: afxdp.LockSpinBatched,
 		Opts: core.DefaultOptions(), KernelQueues: 12, Seed: 1,
 	}
+	if DefaultCache.SMC {
+		cfg.Opts.SMC = true
+	}
+	if DefaultCache.EMCInsertInvProb > 1 {
+		cfg.Opts.EMCInsertInvProb = DefaultCache.EMCInsertInvProb
+	}
+	return cfg
 }
 
 // Bed is a built loopback testbed: generator -> NIC A -> datapath ->
@@ -166,6 +188,10 @@ func forwardPipeline() *ofproto.Pipeline {
 func NewP2PBed(cfg BedConfig) *Bed {
 	eng := sim.NewEngine(cfg.Seed)
 	bed := &Bed{Eng: eng}
+	pipeline := cfg.Pipeline
+	if pipeline == nil {
+		pipeline = forwardPipeline()
+	}
 
 	queues := cfg.Queues
 	if cfg.Kind == KindKernel || cfg.Kind == KindEBPF {
@@ -184,7 +210,7 @@ func NewP2PBed(cfg BedConfig) *Bed {
 	switch cfg.Kind {
 	case KindKernel, KindEBPF:
 		nl := mustOpen(cfg.Kind.DpifType(),
-			dpif.Config{Eng: eng, Pipeline: forwardPipeline()}).(*dpif.Netlink)
+			dpif.Config{Eng: eng, Pipeline: pipeline}).(*dpif.Netlink)
 		bed.DP = nl
 		nl.PortAdd(dpif.TxPort{PortID: 2, PortName: "p1",
 			Deliver: func(p *packet.Packet) { bed.NICB.Transmit(p) }})
@@ -224,7 +250,7 @@ func NewP2PBed(cfg BedConfig) *Bed {
 			panic(err)
 		}
 		nd := mustOpen("netdev",
-			dpif.Config{Eng: eng, Pipeline: forwardPipeline(), Options: cfg.Opts}).(*dpif.Netdev)
+			dpif.Config{Eng: eng, Pipeline: pipeline, Options: cfg.Opts}).(*dpif.Netdev)
 		bed.DP = nd
 		portA := core.NewAFXDPPort(core.AFXDPPortConfig{ID: 1, NIC: bed.NICA, Eng: eng,
 			LockMode: cfg.Lock, ZeroCopy: cfg.ZeroCopy})
@@ -242,7 +268,7 @@ func NewP2PBed(cfg BedConfig) *Bed {
 		}
 	case KindDPDK:
 		nd := mustOpen("netdev",
-			dpif.Config{Eng: eng, Pipeline: forwardPipeline(), Options: cfg.Opts}).(*dpif.Netdev)
+			dpif.Config{Eng: eng, Pipeline: pipeline, Options: cfg.Opts}).(*dpif.Netdev)
 		bed.DP = nd
 		portA := core.NewDPDKPort(1, bed.NICA)
 		portB := core.NewDPDKPort(2, bed.NICB)

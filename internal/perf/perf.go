@@ -31,6 +31,7 @@ type Stage int
 const (
 	StageRx Stage = iota
 	StageEMC
+	StageSMC
 	StageDpcls
 	StageUpcall
 	StageActions
@@ -45,6 +46,8 @@ func (s Stage) String() string {
 		return "rx"
 	case StageEMC:
 		return "emc"
+	case StageSMC:
+		return "smc"
 	case StageDpcls:
 		return "dpcls"
 	case StageUpcall:
@@ -70,8 +73,11 @@ type Stats struct {
 	Iterations uint64
 	// Packets counts packets processed.
 	Packets uint64
-	// EMCHits / MegaflowHits / Upcalls split Packets by resolution level.
+	// EMCHits / SMCHits / MegaflowHits / Upcalls split Packets by
+	// resolution level. SMCHits stays zero unless the signature match
+	// cache is enabled.
 	EMCHits      uint64
+	SMCHits      uint64
 	MegaflowHits uint64
 	Upcalls      uint64
 
@@ -182,8 +188,8 @@ func FormatTable(threads []ThreadStats) string {
 		fmt.Fprintf(&b, "%s:\n", t.Name)
 		fmt.Fprintf(&b, "  iterations: %d  packets: %d  avg-batch: %.2f pkts\n",
 			s.Iterations, s.Packets, s.BatchMean())
-		fmt.Fprintf(&b, "  hits: emc:%d megaflow:%d upcall:%d\n",
-			s.EMCHits, s.MegaflowHits, s.Upcalls)
+		fmt.Fprintf(&b, "  hits: emc:%d smc:%d megaflow:%d upcall:%d\n",
+			s.EMCHits, s.SMCHits, s.MegaflowHits, s.Upcalls)
 		if s.UpcallQueueDrops > 0 || s.UpcallQueuePeak > 0 {
 			fmt.Fprintf(&b, "  upcall-queue: peak:%d drops:%d\n",
 				s.UpcallQueuePeak, s.UpcallQueueDrops)

@@ -15,6 +15,7 @@ type Result int
 const (
 	ResultNone Result = iota // not resolved (still in flight / dropped early)
 	ResultEMC
+	ResultSMC
 	ResultMegaflow
 	ResultUpcall
 	ResultDrop
@@ -25,6 +26,8 @@ func (r Result) String() string {
 	switch r {
 	case ResultEMC:
 		return "emc"
+	case ResultSMC:
+		return "smc"
 	case ResultMegaflow:
 		return "megaflow"
 	case ResultUpcall:
