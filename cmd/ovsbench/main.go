@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"ovsxdp/internal/dpif"
 	"ovsxdp/internal/experiments"
 )
 
@@ -26,8 +27,25 @@ func main() {
 	scenario := flag.String("scenario", "", "run a robustness scenario instead of an experiment (e.g. restart, cachesweep)")
 	smcOn := flag.Bool("smc", false, "enable the signature match cache on userspace-datapath beds")
 	emcProb := flag.Int("emc-prob", 1, "inverse EMC insertion probability (1 = always insert)")
+	flag.Func("o", "other_config key=value applied to every bed (repeatable, e.g. -o pmd-rxq-assign=cycles)", func(s string) error {
+		for i := 1; i < len(s); i++ {
+			if s[i] == '=' {
+				if experiments.DefaultOther == nil {
+					experiments.DefaultOther = map[string]string{}
+				}
+				experiments.DefaultOther[s[:i]] = s[i+1:]
+				return nil
+			}
+		}
+		return fmt.Errorf("expected key=value, got %q", s)
+	})
 	flag.Usage = usage
 	flag.Parse()
+
+	if err := dpif.CheckConfig(experiments.DefaultOther); err != nil {
+		fmt.Fprintln(os.Stderr, "ovsbench:", err)
+		os.Exit(1)
+	}
 
 	profile := experiments.Full
 	if *quick {
@@ -98,12 +116,12 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `ovsbench — regenerate the paper's evaluation
 
 usage:
-  ovsbench [-quick] [-perf] [-smc] [-emc-prob N] list | all | <experiment>...
+  ovsbench [-quick] [-perf] [-smc] [-emc-prob N] [-o key=value]... list | all | <experiment>...
   ovsbench [-quick] -scenario <scenario>
 
 experiments: fig1 fig2 fig8a fig8b fig8c fig9a fig9b fig9c fig10 fig11 fig12
              table1 table2 table3 table4 table5
-scenarios:   restart cachesweep
+scenarios:   restart cachesweep corescale
 `)
 	flag.PrintDefaults()
 }

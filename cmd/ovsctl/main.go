@@ -54,15 +54,17 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ovsctl [-datapath %v] [-upcall-queue N] [-upcall-svc-ns N] [-smc] [-emc-prob N] demo|show|dump-flows|dpctl-stats|pmd-perf-show|pmd-perf-trace|fault-demo\n",
+	fmt.Fprintf(os.Stderr, "usage: ovsctl [-datapath %v] [-upcall-queue N] [-upcall-svc-ns N] [-smc] [-emc-prob N] [-o key=value]... demo|show|dump-flows|dpctl-stats|pmd-perf-show|pmd-perf-trace|pmd-rxq-show|fault-demo|set key=value...|get [key]\n",
 		dpif.Types())
 }
 
 // cliConfig carries the flag-selected datapath tunables into every
-// subcommand: the bounded slow path and the cache hierarchy shape.
+// subcommand: the bounded slow path, the cache hierarchy shape, and the
+// other_config key/value overlay.
 type cliConfig struct {
-	uc dpif.UpcallConfig
-	cc dpif.CacheConfig
+	uc    dpif.UpcallConfig
+	cc    dpif.CacheConfig
+	other map[string]string
 }
 
 func main() {
@@ -71,6 +73,15 @@ func main() {
 	upcallSvcNs := flag.Int64("upcall-svc-ns", 0, "upcall handler service interval in virtual ns (0 = default)")
 	smcOn := flag.Bool("smc", false, "enable the signature match cache (other-config:smc-enable analog, netdev only)")
 	emcProb := flag.Int("emc-prob", 1, "inverse EMC insertion probability: insert with probability 1/N (emc-insert-inv-prob analog)")
+	other := map[string]string{}
+	flag.Func("o", "other_config key=value applied at open (repeatable; `ovsctl get` lists keys)", func(s string) error {
+		k, v, err := splitKV(s)
+		if err != nil {
+			return err
+		}
+		other[k] = v
+		return nil
+	})
 	flag.Usage = usage
 	flag.Parse()
 
@@ -83,6 +94,7 @@ func main() {
 			SMC:              *smcOn,
 			EMCInsertInvProb: *emcProb,
 		},
+		other: other,
 	}
 
 	var err error
@@ -99,8 +111,14 @@ func main() {
 		err = pmdPerfShow(*dpType, cfg)
 	case "pmd-perf-trace":
 		err = pmdPerfTrace(*dpType, cfg)
+	case "pmd-rxq-show":
+		err = pmdRxqShow(*dpType, cfg)
 	case "fault-demo":
 		err = faultDemo(*dpType, cfg)
+	case "set":
+		err = setConfig(*dpType, cfg, flag.Args()[1:])
+	case "get":
+		err = getConfig(*dpType, cfg, flag.Args()[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -109,6 +127,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ovsctl:", err)
 		os.Exit(1)
 	}
+}
+
+// splitKV parses one "key=value" argument.
+func splitKV(s string) (string, string, error) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '=' {
+			if i == 0 {
+				break
+			}
+			return s[:i], s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("expected key=value, got %q", s)
 }
 
 // env is the in-process switch: engine, datapath (via the dpif registry),
@@ -123,7 +154,7 @@ type env struct {
 func newEnv(dpType string, cfg cliConfig) (*env, error) {
 	eng := sim.NewEngine(1)
 	pl := ofproto.NewPipeline()
-	d, err := dpif.Open(dpType, dpif.Config{Eng: eng, Pipeline: pl, Upcall: cfg.uc, Cache: cfg.cc})
+	d, err := dpif.Open(dpType, dpif.Config{Eng: eng, Pipeline: pl, Upcall: cfg.uc, Cache: cfg.cc, Other: cfg.other})
 	if err != nil {
 		return nil, err
 	}
@@ -347,6 +378,78 @@ func pmdPerfShow(dpType string, cfg cliConfig) error {
 	}
 	e.inject(64)
 	fmt.Print(e.daemon.PmdPerfShow())
+	return nil
+}
+
+// pmdRxqShow prints the rxq-to-thread placement after injecting traffic —
+// the ovs-appctl dpif-netdev/pmd-rxq-show analog. Kernel-side datapaths
+// report their softirq rx contexts instead of PMD threads.
+func pmdRxqShow(dpType string, cfg cliConfig) error {
+	e, err := newEnv(dpType, cfg)
+	if err != nil {
+		return err
+	}
+	if err := e.configure(); err != nil {
+		return err
+	}
+	e.inject(64)
+	fmt.Print(e.daemon.PmdRxqShow())
+	return nil
+}
+
+// setConfig applies other_config key=value pairs through the daemon — the
+// ovs-vsctl set Open_vSwitch . other_config:key=value analog — then echoes
+// the effective values back. Validation is all-or-nothing.
+func setConfig(dpType string, cfg cliConfig, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("set: need at least one key=value argument")
+	}
+	kv := map[string]string{}
+	for _, a := range args {
+		k, v, err := splitKV(a)
+		if err != nil {
+			return err
+		}
+		kv[k] = v
+	}
+	e, err := newEnv(dpType, cfg)
+	if err != nil {
+		return err
+	}
+	if err := e.daemon.SetOtherConfig(kv); err != nil {
+		return err
+	}
+	eff := e.daemon.OtherConfig()
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s=%s\n", k, eff[k])
+	}
+	return nil
+}
+
+// getConfig reads the effective other_config back: every key (sorted) with
+// no argument, or just the named keys.
+func getConfig(dpType string, cfg cliConfig, args []string) error {
+	e, err := newEnv(dpType, cfg)
+	if err != nil {
+		return err
+	}
+	eff := e.daemon.OtherConfig()
+	if len(args) == 0 {
+		fmt.Print(dpif.FormatConfig(eff))
+		return nil
+	}
+	for _, k := range args {
+		v, ok := eff[k]
+		if !ok {
+			return fmt.Errorf("get: unknown other_config key %q", k)
+		}
+		fmt.Printf("%s=%s\n", k, v)
+	}
 	return nil
 }
 

@@ -104,6 +104,26 @@ type Options struct {
 	// an upcall fails for good, shielding the slow path from the failing
 	// flow; <= 0 disables the negative flow.
 	NegativeFlowTTL sim.Time
+	// RxqAssign selects how the assignment layer distributes receive
+	// queues across PMD threads (other_config:pmd-rxq-assign). The zero
+	// value is round-robin, which reproduces the historical
+	// queue-i-to-PMD-i wiring exactly.
+	RxqAssign AssignPolicy
+	// AutoLB enables the deterministic PMD auto-load-balancer
+	// (other_config:pmd-auto-lb); off by default.
+	AutoLB bool
+	// AutoLBInterval overrides the balancer's virtual-time measurement
+	// interval; zero uses costmodel.AutoLBDefaultInterval.
+	AutoLBInterval sim.Time
+	// AutoLBThresholdPct overrides the minimum per-PMD load-variance
+	// improvement (percent) before a re-shard is applied; zero uses
+	// costmodel.AutoLBDefaultThresholdPct.
+	AutoLBThresholdPct int
+	// TxLockMutex guards shared transmit queues (XPS) with a mutex
+	// charged per packet instead of the default spinlock charged per
+	// flush — the tx-side analog of the umempool O2/O3 toggles. It only
+	// matters when a port has fewer txqs than the datapath has PMDs.
+	TxLockMutex bool
 }
 
 // DefaultOptions returns the fully-optimized configuration (all of
@@ -146,6 +166,10 @@ type Datapath struct {
 	// the bounded upcall queue is in force.
 	handler *sim.CPU
 
+	// assign is the rxq-to-PMD assignment layer (policies, auto-LB, XPS);
+	// created lazily so the zero datapath keeps working.
+	assign *assigner
+
 	// Stats.
 	Processed      uint64
 	EMCHits        uint64
@@ -172,13 +196,21 @@ func NewDatapath(eng *sim.Engine, pl *ofproto.Pipeline, opts Options) *Datapath 
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = costmodel.BatchSize
 	}
-	return &Datapath{
+	d := &Datapath{
 		Eng:      eng,
 		Pipeline: pl,
 		Ct:       conntrack.NewTable(eng),
 		Opts:     opts,
 		ports:    make(map[uint32]Port),
 	}
+	if opts.AutoLB {
+		thr := opts.AutoLBThresholdPct
+		if thr <= 0 {
+			thr = -1 // keep the default
+		}
+		d.ConfigureAutoLB(true, opts.AutoLBInterval, thr)
+	}
+	return d
 }
 
 // AddPort registers a port.
@@ -192,6 +224,24 @@ func (d *Datapath) RemovePort(id uint32) { delete(d.ports, id) }
 
 // Ports returns the number of attached ports.
 func (d *Datapath) Ports() int { return len(d.ports) }
+
+// ConfigureSMC enables or disables the signature match cache at runtime,
+// allocating or releasing the per-PMD tables (smc-enable). entries > 0 also
+// resizes the capacity; existing tables are rebuilt empty on resize, losing
+// only re-learnable cache state.
+func (d *Datapath) ConfigureSMC(on bool, entries int) {
+	resize := entries > 0 && entries != d.Opts.SMCEntries
+	d.Opts.SMC = on
+	if entries > 0 {
+		d.Opts.SMCEntries = entries
+	}
+	for _, m := range d.pmds {
+		if resize {
+			m.smc = nil
+		}
+		m.reconfigureSMC()
+	}
+}
 
 // FlushFlows clears every PMD's caches (revalidation after rule changes).
 func (d *Datapath) FlushFlows() {
@@ -582,6 +632,7 @@ func (d *Datapath) transmit(m *PMD, out Port, p *packet.Packet) {
 		p.Offloads |= packet.CsumVerified
 	}
 
+	txq := d.TxqFor(m, out)
 	if p.SegSize > 0 && len(p.Data) > p.SegSize+64 && !caps.TSO && !d.Opts.AssumeTSO {
 		// Software segmentation: split into MSS frames, each paying a
 		// copy, then transmit each.
@@ -593,15 +644,17 @@ func (d *Datapath) transmit(m *PMD, out Port, p *packet.Packet) {
 				m.charge(perf.StageActions, costmodel.ChecksumCost(len(s.Data)))
 				s.Offloads &^= packet.CsumPartial
 			}
+			d.chargeTxLock(m, out)
 			txBefore := cpu.BusyTotal()
-			out.Tx(cpu, m.ID, s)
+			out.Tx(cpu, txq, s)
 			m.Perf.Add(perf.StageActions, cpu.BusyTotal()-txBefore)
 		}
 		m.touch(out)
 		return
 	}
+	d.chargeTxLock(m, out)
 	txBefore := cpu.BusyTotal()
-	out.Tx(cpu, m.ID, p)
+	out.Tx(cpu, txq, p)
 	m.Perf.Add(perf.StageActions, cpu.BusyTotal()-txBefore)
 	m.touch(out)
 }

@@ -61,9 +61,12 @@ type PMD struct {
 	emc *emc.Cache[*dpcls.Entry]
 	// smc is the signature match cache, allocated only when Options.SMC
 	// is set (it is ~4 MB per PMD at the OVS-default capacity).
-	smc  *smc.Cache
-	cls  *dpcls.Classifier
-	rxqs []RxQueue
+	smc *smc.Cache
+	cls *dpcls.Classifier
+	// rxqs is the thread's poll list; the entries are owned by the
+	// datapath's assignment layer, which also meters each queue's cycle
+	// consumption for the cycles policy and the auto-load-balancer.
+	rxqs []*rxqState
 	mode Mode
 
 	// insRand drives probabilistic EMC insertion (emc-insert-inv-prob).
@@ -86,7 +89,11 @@ type PMD struct {
 	running bool
 	stopped bool
 	active  bool // has seen work; feeds the contention count
-	touched map[Port]bool
+	// touched lists ports with batched transmissions pending flush, in
+	// first-touch order — a deterministic flush sequence, where ranging
+	// over a map would reorder costs run to run. touchedSeen dedups.
+	touched     []Port
+	touchedSeen map[Port]bool
 
 	// upcallQ parks packets awaiting slow-path translation when
 	// Options.UpcallQueueCap bounds the queue; upcallBusy is set while a
@@ -120,15 +127,15 @@ func (d *Datapath) NewPMD(mode Mode, cpu *sim.CPU) *PMD {
 		cpu = d.Eng.NewCPU(fmt.Sprintf("pmd%d", id))
 	}
 	m := &PMD{
-		ID:      id,
-		CPU:     cpu,
-		dp:      d,
-		emc:     emc.New[*dpcls.Entry](costmodel.EMCEntries, uint32(id)*0x9e37+1),
-		cls:     dpcls.New(uint32(id)*0x79b9 + 7),
-		mode:    mode,
-		touched: make(map[Port]bool),
-		Perf:    perf.NewStats(),
-		insRand: sim.NewRand(0x51c0ffee ^ uint64(id)<<20),
+		ID:          id,
+		CPU:         cpu,
+		dp:          d,
+		emc:         emc.New[*dpcls.Entry](costmodel.EMCEntries, uint32(id)*0x9e37+1),
+		cls:         dpcls.New(uint32(id)*0x79b9 + 7),
+		mode:        mode,
+		touchedSeen: make(map[Port]bool),
+		Perf:        perf.NewStats(),
+		insRand:     sim.NewRand(0x51c0ffee ^ uint64(id)<<20),
 	}
 	if d.Opts.SMC {
 		entries := d.Opts.SMCEntries
@@ -152,9 +159,28 @@ func (m *PMD) charge(st perf.Stage, d sim.Time) {
 	m.Perf.Add(st, d)
 }
 
-// AssignRxQueue adds a receive queue to this PMD's poll list.
-func (m *PMD) AssignRxQueue(p Port, q int) {
-	m.rxqs = append(m.rxqs, RxQueue{Port: p, Queue: q})
+// AssignRxQueue adds a receive queue to this PMD's poll list through the
+// datapath's assignment layer. Unlike the historical version, it rejects a
+// (port, queue) pair that is already assigned — to this thread or any
+// other — instead of silently polling it twice.
+func (m *PMD) AssignRxQueue(p Port, q int) error {
+	return m.dp.AssignRxqTo(m, p, q)
+}
+
+// reconfigureSMC brings the thread's signature cache in line with the
+// datapath's current Options: allocated while SMC is on, released when off.
+func (m *PMD) reconfigureSMC() {
+	if !m.dp.Opts.SMC {
+		m.smc = nil
+		return
+	}
+	if m.smc == nil {
+		entries := m.dp.Opts.SMCEntries
+		if entries <= 0 {
+			entries = costmodel.SMCEntries
+		}
+		m.smc = smc.New(entries, uint32(m.ID)*0x85eb+3)
+	}
 }
 
 // EMCStats exposes cache hit counters for experiments.
@@ -232,8 +258,8 @@ func (m *PMD) wake() {
 }
 
 func (m *PMD) armAll() {
-	for _, rxq := range m.rxqs {
-		rxq.Port.Arm(rxq.Queue, m.onInterrupt)
+	for _, st := range m.rxqs {
+		st.rxq.Port.Arm(st.rxq.Queue, m.onInterrupt)
 	}
 }
 
@@ -258,7 +284,8 @@ func (m *PMD) iterate() {
 	batch := m.dp.Opts.BatchSize
 	work := 0
 	busyBefore := m.CPU.BusyTotal()
-	for _, rxq := range m.rxqs {
+	for _, st := range m.rxqs {
+		rxq := st.rxq
 		rxBefore := m.CPU.BusyTotal()
 		pkts := rxq.Port.Rx(m.CPU, rxq.Queue, batch)
 		m.Perf.Add(perf.StageRx, m.CPU.BusyTotal()-rxBefore)
@@ -274,6 +301,12 @@ func (m *PMD) iterate() {
 			m.charge(perf.StageRx, costmodel.NonPMDPollGap)
 		}
 		m.dp.processBatch(m, pkts)
+		// Meter the queue's cycle share (receive through actions) for
+		// the cycles assignment policy and the auto-load-balancer.
+		// Pure accounting: the cycles were already charged above.
+		spent := m.CPU.BusyTotal() - rxBefore
+		st.intervalCycles += spent
+		st.totalCycles += spent
 	}
 	if work > 0 {
 		if !m.active {
@@ -291,12 +324,20 @@ func (m *PMD) iterate() {
 			}
 		}
 	}
-	// Flush batched transmissions on every port this iteration touched.
+	// Flush batched transmissions on every port this iteration touched,
+	// in first-touch order. A shared tx queue (XPS: more PMDs than the
+	// port has txqs) pays the batched spinlock once per flush here; the
+	// per-packet mutex alternative is charged in transmit.
 	flushBefore := m.CPU.BusyTotal()
-	for port := range m.touched {
-		port.Flush(m.CPU, m.ID)
-		delete(m.touched, port)
+	for _, port := range m.touched {
+		if m.dp.txqContended(port) && !m.dp.Opts.TxLockMutex {
+			m.CPU.Consume(sim.User, costmodel.XPSTxSpinPerFlush)
+			m.Perf.TxLockCycles += costmodel.XPSTxSpinPerFlush
+		}
+		port.Flush(m.CPU, m.dp.TxqFor(m, port))
+		delete(m.touchedSeen, port)
 	}
+	m.touched = m.touched[:0]
 	m.Perf.Add(perf.StageActions, m.CPU.BusyTotal()-flushBefore)
 
 	switch {
@@ -317,7 +358,12 @@ func (m *PMD) iterate() {
 	}
 }
 
-func (m *PMD) touch(p Port) { m.touched[p] = true }
+func (m *PMD) touch(p Port) {
+	if !m.touchedSeen[p] {
+		m.touchedSeen[p] = true
+		m.touched = append(m.touched, p)
+	}
+}
 
 // pendingUpcall is one packet parked in a PMD's bounded upcall queue.
 type pendingUpcall struct {

@@ -31,6 +31,12 @@ type Port interface {
 	Name() string
 	// NumRxQueues returns the number of pollable receive queues.
 	NumRxQueues() int
+	// NumTxQueues returns the number of transmit queues. When the
+	// datapath runs more PMD threads than a port has txqs, threads share
+	// queues under XPS and each send pays a lock cost; <= 0 means the
+	// port imposes no txq limit (function-delivery ports) and is never
+	// contended.
+	NumTxQueues() int
 	// Rx fetches up to max packets from queue q, charging receive costs
 	// to cpu.
 	Rx(cpu *sim.CPU, q, max int) []*packet.Packet
@@ -225,6 +231,9 @@ func (p *AFXDPPort) Name() string { return p.nic.Name }
 // NumRxQueues implements Port.
 func (p *AFXDPPort) NumRxQueues() int { return len(p.xsks) }
 
+// NumTxQueues implements Port: one XSK tx ring per queue.
+func (p *AFXDPPort) NumTxQueues() int { return len(p.xsks) }
+
 // XSK exposes the socket for queue q (tests, xskmap setup).
 func (p *AFXDPPort) XSK(q int) *afxdp.XSK { return p.xsks[q] }
 
@@ -394,6 +403,9 @@ func (p *DPDKPort) Name() string { return p.nic.Name }
 // NumRxQueues implements Port.
 func (p *DPDKPort) NumRxQueues() int { return p.nic.NumQueues() }
 
+// NumTxQueues implements Port: hardware tx rings match the rx side.
+func (p *DPDKPort) NumTxQueues() int { return p.nic.NumQueues() }
+
 // Rx implements Port.
 func (p *DPDKPort) Rx(cpu *sim.CPU, q, max int) []*packet.Packet {
 	pkts := p.nic.Queue(q).Pop(max)
@@ -446,6 +458,9 @@ func (p *VhostPort) Name() string { return p.dev.Name }
 
 // NumRxQueues implements Port.
 func (p *VhostPort) NumRxQueues() int { return 1 }
+
+// NumTxQueues implements Port: a single virtio ring pair.
+func (p *VhostPort) NumTxQueues() int { return 1 }
 
 // Rx implements Port: dequeue from the guest's tx ring, paying the ring op
 // and the copy out of guest memory.
@@ -502,6 +517,9 @@ func (p *TapPort) Name() string { return p.dev.Name }
 
 // NumRxQueues implements Port.
 func (p *TapPort) NumRxQueues() int { return 1 }
+
+// NumTxQueues implements Port: a single-queue tap.
+func (p *TapPort) NumTxQueues() int { return 1 }
 
 // Rx implements Port: read() from the tap, a syscall per batch plus copies.
 func (p *TapPort) Rx(cpu *sim.CPU, _, max int) []*packet.Packet {
@@ -562,6 +580,9 @@ func (p *VethPort) Name() string { return p.pair.Name }
 
 // NumRxQueues implements Port.
 func (p *VethPort) NumRxQueues() int { return 1 }
+
+// NumTxQueues implements Port: one generic-mode XSK tx ring.
+func (p *VethPort) NumTxQueues() int { return 1 }
 
 // Rx implements Port.
 func (p *VethPort) Rx(cpu *sim.CPU, _, max int) []*packet.Packet {

@@ -21,6 +21,7 @@ type sinkPort struct {
 func (s *sinkPort) ID() uint32                             { return s.id }
 func (s *sinkPort) Name() string                           { return s.name }
 func (s *sinkPort) NumRxQueues() int                       { return 0 }
+func (s *sinkPort) NumTxQueues() int                       { return 0 }
 func (s *sinkPort) Rx(*sim.CPU, int, int) []*packet.Packet { return nil }
 func (s *sinkPort) Tx(_ *sim.CPU, _ int, p *packet.Packet) { s.recvd++ }
 func (s *sinkPort) Flush(*sim.CPU, int)                    {}

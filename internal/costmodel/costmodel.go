@@ -408,6 +408,35 @@ const (
 )
 
 // ---------------------------------------------------------------------------
+// Multi-PMD scaling: rxq auto-load-balancing and transmit-side XPS (OVS's
+// pmd-auto-lb and static txq assignment with locked shared txqs).
+// ---------------------------------------------------------------------------
+const (
+	// AutoLBDefaultInterval is the PMD auto-load-balancer's measurement
+	// interval in virtual time. OVS defaults to one minute of wall clock;
+	// the simulation's windows are milliseconds, so the analog interval is
+	// scaled to land a handful of balancer ticks inside one experiment
+	// window.
+	AutoLBDefaultInterval sim.Time = 5 * sim.Millisecond
+
+	// AutoLBDefaultThresholdPct is the minimum per-PMD load-variance
+	// improvement (percent) a dry run must predict before rxqs are
+	// actually re-sharded (OVS's pmd-auto-lb-improvement-threshold,
+	// default 25).
+	AutoLBDefaultThresholdPct = 25
+
+	// XPSTxMutexPerPacket is the per-packet cost of guarding a shared tx
+	// queue with a mutex when more PMDs than txqs force XPS queue sharing
+	// — same regime as the umempool O2 measurement.
+	XPSTxMutexPerPacket sim.Time = MutexLockPerPacket
+
+	// XPSTxSpinPerFlush is the per-flush cost of the shared-txq spinlock
+	// in the default batched mode: acquired once per tx burst rather than
+	// per packet, mirroring the O3 umempool batching.
+	XPSTxSpinPerFlush sim.Time = SpinlockPerAcquire
+)
+
+// ---------------------------------------------------------------------------
 // Latency-experiment fixed terms and jitter (Figures 10 and 11).
 // ---------------------------------------------------------------------------
 const (

@@ -1,0 +1,177 @@
+package dpif_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ovsxdp/internal/dpif"
+	"ovsxdp/internal/sim"
+)
+
+// allProviders is the full registry; every SetConfig contract below must
+// hold identically across them.
+var allProviders = []string{"netdev", "netlink", "ebpf"}
+
+func openProvider(t *testing.T, name string, other map[string]string) dpif.Dpif {
+	t.Helper()
+	d, err := dpif.Open(name, dpif.Config{Eng: sim.NewEngine(1),
+		Pipeline: forwardPipeline(), Other: other})
+	if err != nil {
+		t.Fatalf("Open(%q): %v", name, err)
+	}
+	return d
+}
+
+func TestSetConfigUnknownKeyEveryProvider(t *testing.T) {
+	for _, name := range allProviders {
+		d := openProvider(t, name, nil)
+		before := d.GetConfig()
+		err := d.SetConfig(map[string]string{"no-such-key": "1"})
+		if err == nil {
+			t.Fatalf("%s: unknown key accepted", name)
+		}
+		if !strings.Contains(err.Error(), "no-such-key") {
+			t.Fatalf("%s: error should name the key: %v", name, err)
+		}
+		if after := d.GetConfig(); !reflect.DeepEqual(before, after) {
+			t.Fatalf("%s: failed SetConfig changed state:\nbefore %v\nafter  %v",
+				name, before, after)
+		}
+	}
+}
+
+func TestSetConfigTypedParseErrors(t *testing.T) {
+	cases := []map[string]string{
+		{"pmd-auto-lb": "maybe"},
+		{"emc-insert-inv-prob": "-3"},
+		{"pmd-rxq-assign": "random"},
+		{"upcall-queue-cap": "many"},
+		{"pmd-auto-lb-rebal-interval-us": "-1"},
+	}
+	for _, name := range allProviders {
+		d := openProvider(t, name, nil)
+		for _, kv := range cases {
+			if err := d.SetConfig(kv); err == nil {
+				t.Fatalf("%s: accepted %v", name, kv)
+			}
+		}
+	}
+}
+
+// TestSetConfigAllOrNothing: one bad key in a batch must leave every good
+// key unapplied.
+func TestSetConfigAllOrNothing(t *testing.T) {
+	for _, name := range allProviders {
+		d := openProvider(t, name, nil)
+		err := d.SetConfig(map[string]string{
+			"upcall-queue-cap": "64",
+			"bogus":            "1",
+		})
+		if err == nil {
+			t.Fatalf("%s: batch with bad key accepted", name)
+		}
+		if got := d.GetConfig()["upcall-queue-cap"]; got != "0" {
+			t.Fatalf("%s: good key applied despite failed batch: %q", name, got)
+		}
+	}
+}
+
+// TestSetConfigRoundTrip drives every key to a non-default value on the
+// netdev provider and reads it back through GetConfig.
+func TestSetConfigRoundTrip(t *testing.T) {
+	want := map[string]string{
+		"pmd-rxq-assign":                    "cycles",
+		"pmd-auto-lb":                       "true",
+		"pmd-auto-lb-rebal-interval-us":     "2500",
+		"pmd-auto-lb-improvement-threshold": "10",
+		"tx-lock-mutex":                     "true",
+		"emc-enable":                        "false",
+		"emc-insert-inv-prob":               "100",
+		"smc-enable":                        "true",
+		"smc-entries":                       "4096",
+		"batch-dedup":                       "true",
+		"upcall-queue-cap":                  "128",
+		"upcall-service-us":                 "20",
+		"upcall-retry-base-us":              "25",
+		"upcall-max-retries":                "3",
+		"negative-flow-ttl-us":              "5000",
+	}
+	d := openProvider(t, "netdev", nil)
+	if err := d.SetConfig(want); err != nil {
+		t.Fatalf("SetConfig: %v", err)
+	}
+	got := d.GetConfig()
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %q after set, want %q", k, got[k], v)
+		}
+	}
+}
+
+// TestNetdevOnlyKeysInertOnKernel: the kernel-path providers accept pmd-*
+// and cache keys (the other_config column is global) but only act on the
+// slow-path keys.
+func TestNetdevOnlyKeysInertOnKernel(t *testing.T) {
+	for _, name := range []string{"netlink", "ebpf"} {
+		d := openProvider(t, name, nil)
+		err := d.SetConfig(map[string]string{
+			"pmd-rxq-assign":   "cycles",
+			"smc-enable":       "true",
+			"upcall-queue-cap": "32",
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := d.GetConfig()
+		if got["pmd-rxq-assign"] != "cycles" || got["smc-enable"] != "true" {
+			t.Fatalf("%s: inert keys not echoed back: %v", name, got)
+		}
+		if got["upcall-queue-cap"] != "32" {
+			t.Fatalf("%s: live key not applied: %v", name, got)
+		}
+	}
+}
+
+// TestOpenAppliesOther: Config.Other reaches SetConfig at open, and a bad
+// key fails the Open.
+func TestOpenAppliesOther(t *testing.T) {
+	d := openProvider(t, "netdev", map[string]string{"pmd-rxq-assign": "cycles"})
+	if got := d.GetConfig()["pmd-rxq-assign"]; got != "cycles" {
+		t.Fatalf("Other not applied at open: %q", got)
+	}
+	for _, name := range allProviders {
+		_, err := dpif.Open(name, dpif.Config{Eng: sim.NewEngine(1),
+			Pipeline: forwardPipeline(), Other: map[string]string{"nope": "1"}})
+		if err == nil {
+			t.Fatalf("%s: Open with bad Other key succeeded", name)
+		}
+	}
+}
+
+// TestCheckConfig validates without a datapath.
+func TestCheckConfig(t *testing.T) {
+	if err := dpif.CheckConfig(map[string]string{"pmd-auto-lb": "true"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dpif.CheckConfig(map[string]string{"pmd-auto-lb": "si"}); err == nil {
+		t.Fatal("bad value passed CheckConfig")
+	}
+}
+
+// TestGetConfigListsEverySchemaKey: GetConfig must be total over the schema
+// on every provider, so `ovsctl get` output is uniform.
+func TestGetConfigListsEverySchemaKey(t *testing.T) {
+	keys := dpif.ConfigKeys()
+	for _, name := range allProviders {
+		got := openProvider(t, name, nil).GetConfig()
+		for _, k := range keys {
+			if _, ok := got[k]; !ok {
+				t.Errorf("%s: GetConfig missing %q", name, k)
+			}
+		}
+		if len(got) != len(keys) {
+			t.Errorf("%s: GetConfig has %d keys, schema has %d", name, len(got), len(keys))
+		}
+	}
+}

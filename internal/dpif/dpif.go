@@ -130,6 +130,23 @@ type Dpif interface {
 	// pipeline it was opened with.
 	SetUpcall(fn UpcallFunc)
 
+	// SetConfig applies ovs-vsctl-style other_config key/value pairs with
+	// typed parsing: unknown keys and malformed values are errors and
+	// leave the configuration unchanged. Keys that only reach the
+	// userspace datapath (pmd-*, emc-*, smc-*, ...) are accepted but
+	// inert on the kernel-path providers, as in OVS. Keys are applied in
+	// sorted order, so a SetConfig call is deterministic.
+	SetConfig(kv map[string]string) error
+	// GetConfig reports the full configuration: every supported key with
+	// its current (or default) value.
+	GetConfig() map[string]string
+
+	// PmdRxqShow renders the rxq-to-thread assignment with per-queue load
+	// shares (`ovs-appctl dpif-netdev/pmd-rxq-show`). Kernel-path
+	// providers report their softirq-side equivalent: which softirq
+	// contexts have been feeding the datapath and their packet shares.
+	PmdRxqShow() string
+
 	// Stats reports the unified datapath counters.
 	Stats() Stats
 

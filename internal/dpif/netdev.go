@@ -127,6 +127,91 @@ func (d *Netdev) Execute(p *packet.Packet) { d.dp.Execute(p) }
 // SetUpcall implements Dpif.
 func (d *Netdev) SetUpcall(fn UpcallFunc) { d.dp.SetUpcall(fn) }
 
+// SetConfig implements Dpif: every key acts on the live userspace datapath
+// — cache toggles take effect on the next packet, balancer and policy
+// changes on the next placement or tick.
+func (d *Netdev) SetConfig(kv map[string]string) error {
+	dp := d.dp
+	return applyConfig(kv, func(key string, v any) error {
+		switch key {
+		case "pmd-rxq-assign":
+			p, err := core.ParseAssignPolicy(v.(string))
+			if err != nil {
+				return err
+			}
+			dp.Opts.RxqAssign = p
+			dp.SetAssignPolicy(p)
+		case "pmd-auto-lb":
+			dp.Opts.AutoLB = v.(bool)
+			dp.ConfigureAutoLB(v.(bool), 0, -1)
+		case "pmd-auto-lb-rebal-interval-us":
+			t := v.(sim.Time)
+			if t <= 0 {
+				return fmt.Errorf("dpif-netdev: pmd-auto-lb-rebal-interval-us must be positive")
+			}
+			dp.Opts.AutoLBInterval = t
+			dp.ConfigureAutoLB(dp.AutoLBEnabled(), t, -1)
+		case "pmd-auto-lb-improvement-threshold":
+			dp.Opts.AutoLBThresholdPct = v.(int)
+			dp.ConfigureAutoLB(dp.AutoLBEnabled(), 0, v.(int))
+		case "tx-lock-mutex":
+			dp.Opts.TxLockMutex = v.(bool)
+		case "emc-enable":
+			dp.Opts.EMC = v.(bool)
+		case "emc-insert-inv-prob":
+			if v.(int) < 1 {
+				return fmt.Errorf("dpif-netdev: emc-insert-inv-prob must be >= 1")
+			}
+			dp.Opts.EMCInsertInvProb = v.(int)
+		case "smc-enable":
+			dp.ConfigureSMC(v.(bool), 0)
+		case "smc-entries":
+			dp.ConfigureSMC(dp.Opts.SMC, v.(int))
+		case "batch-dedup":
+			dp.Opts.BatchDedup = v.(bool)
+		case "upcall-queue-cap":
+			dp.Opts.UpcallQueueCap = v.(int)
+		case "upcall-service-us":
+			dp.Opts.UpcallServiceInterval = v.(sim.Time)
+		case "upcall-retry-base-us":
+			dp.Opts.UpcallRetryBase = v.(sim.Time)
+		case "upcall-max-retries":
+			dp.Opts.UpcallMaxRetries = v.(int)
+		case "negative-flow-ttl-us":
+			dp.Opts.NegativeFlowTTL = v.(sim.Time)
+		}
+		return nil
+	})
+}
+
+// GetConfig implements Dpif: values reflect the live datapath state, so a
+// bed configured through the legacy Options struct reads back identically
+// to one configured through SetConfig.
+func (d *Netdev) GetConfig() map[string]string {
+	dp := d.dp
+	interval, threshold := dp.AutoLBSettings()
+	return map[string]string{
+		"pmd-rxq-assign":                    dp.AssignPolicyInEffect().String(),
+		"pmd-auto-lb":                       renderBool(dp.AutoLBEnabled()),
+		"pmd-auto-lb-rebal-interval-us":     renderMicros(interval),
+		"pmd-auto-lb-improvement-threshold": fmt.Sprintf("%d", threshold),
+		"tx-lock-mutex":                     renderBool(dp.Opts.TxLockMutex),
+		"emc-enable":                        renderBool(dp.Opts.EMC),
+		"emc-insert-inv-prob":               fmt.Sprintf("%d", max(dp.Opts.EMCInsertInvProb, 1)),
+		"smc-enable":                        renderBool(dp.Opts.SMC),
+		"smc-entries":                       fmt.Sprintf("%d", dp.Opts.SMCEntries),
+		"batch-dedup":                       renderBool(dp.Opts.BatchDedup),
+		"upcall-queue-cap":                  fmt.Sprintf("%d", dp.Opts.UpcallQueueCap),
+		"upcall-service-us":                 renderMicros(dp.Opts.UpcallServiceInterval),
+		"upcall-retry-base-us":              renderMicros(dp.Opts.UpcallRetryBase),
+		"upcall-max-retries":                fmt.Sprintf("%d", dp.Opts.UpcallMaxRetries),
+		"negative-flow-ttl-us":              renderMicros(dp.Opts.NegativeFlowTTL),
+	}
+}
+
+// PmdRxqShow implements Dpif.
+func (d *Netdev) PmdRxqShow() string { return d.dp.PmdRxqShow() }
+
 // Stats implements Dpif: hits combine every caching level a packet can
 // shortcut through — EMC, SMC, and the megaflow classifier.
 func (d *Netdev) Stats() Stats {
@@ -169,6 +254,7 @@ type txPortAdapter struct {
 func (a *txPortAdapter) ID() uint32                             { return a.tp.PortID }
 func (a *txPortAdapter) Name() string                           { return a.tp.PortName }
 func (a *txPortAdapter) NumRxQueues() int                       { return 0 }
+func (a *txPortAdapter) NumTxQueues() int                       { return 0 } // function delivery: no txq limit
 func (a *txPortAdapter) Rx(*sim.CPU, int, int) []*packet.Packet { return nil }
 func (a *txPortAdapter) Tx(_ *sim.CPU, _ int, p *packet.Packet) { a.tp.Deliver(p) }
 func (a *txPortAdapter) Flush(*sim.CPU, int)                    {}

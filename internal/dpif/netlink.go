@@ -25,6 +25,17 @@ type Netlink struct {
 	// execCPU is the lazily created CPU Execute charges softirq work to
 	// (the dpctl-execute injection context).
 	execCPU *sim.CPU
+
+	// softirqPkts counts packets per feeding softirq context, in
+	// first-seen order — the kernel-side equivalent of the netdev
+	// rxq-to-PMD map that PmdRxqShow reports. Pure accounting.
+	softirqPkts  map[*sim.CPU]uint64
+	softirqOrder []*sim.CPU
+
+	// netdevOnly remembers accepted-but-inert netdev-only config keys so
+	// GetConfig can echo them back, as OVS's global other_config column
+	// does even for keys this datapath ignores.
+	netdevOnly map[string]string
 }
 
 func init() {
@@ -47,7 +58,9 @@ func netlinkFactory(flavor kernelsim.Flavor) Factory {
 
 // NewNetlink wraps an existing kernel datapath.
 func NewNetlink(eng *sim.Engine, kdp *kernelsim.Datapath) *Netlink {
-	return &Netlink{kdp: kdp, eng: eng, names: make(map[uint32]string)}
+	return &Netlink{kdp: kdp, eng: eng, names: make(map[uint32]string),
+		softirqPkts: make(map[*sim.CPU]uint64),
+		netdevOnly:  make(map[string]string)}
 }
 
 // Kernel exposes the wrapped kernel datapath for wiring that the dpif seam
@@ -56,7 +69,13 @@ func (d *Netlink) Kernel() *kernelsim.Datapath { return d.kdp }
 
 // Process feeds one packet to the datapath in softirq context on cpu — the
 // handler NAPI actors drive.
-func (d *Netlink) Process(cpu *sim.CPU, p *packet.Packet) { d.kdp.Process(cpu, p) }
+func (d *Netlink) Process(cpu *sim.CPU, p *packet.Packet) {
+	if _, seen := d.softirqPkts[cpu]; !seen {
+		d.softirqOrder = append(d.softirqOrder, cpu)
+	}
+	d.softirqPkts[cpu]++
+	d.kdp.Process(cpu, p)
+}
 
 // SetActiveCPUs installs the softirq fan-out probe feeding the
 // SMT-contention model.
@@ -122,11 +141,77 @@ func (d *Netlink) Execute(p *packet.Packet) {
 	if d.execCPU == nil {
 		d.execCPU = d.eng.NewCPU("dpif-exec")
 	}
-	d.kdp.Process(d.execCPU, p)
+	d.Process(d.execCPU, p)
 }
 
 // SetUpcall implements Dpif.
 func (d *Netlink) SetUpcall(fn UpcallFunc) { d.kdp.SetUpcall(fn) }
+
+// SetConfig implements Dpif: the slow-path keys act on the kernel
+// datapath; netdev-only keys (pmd-*, emc-*, smc-*, ...) are validated and
+// remembered but have no effect here, exactly as the real other_config
+// column is global while only dpif-netdev reads those keys.
+func (d *Netlink) SetConfig(kv map[string]string) error {
+	return applyConfig(kv, func(key string, v any) error {
+		switch key {
+		case "upcall-queue-cap":
+			d.kdp.UpcallQueueCap = v.(int)
+		case "upcall-service-us":
+			d.kdp.UpcallServiceInterval = v.(sim.Time)
+		case "upcall-retry-base-us":
+			d.kdp.UpcallRetryBase = v.(sim.Time)
+		case "upcall-max-retries":
+			d.kdp.UpcallMaxRetries = v.(int)
+		case "negative-flow-ttl-us":
+			d.kdp.NegativeFlowTTL = v.(sim.Time)
+		default:
+			d.netdevOnly[key] = kv[key]
+		}
+		return nil
+	})
+}
+
+// GetConfig implements Dpif: live values for the keys this provider acts
+// on, schema defaults (or the remembered inert sets) for the rest.
+func (d *Netlink) GetConfig() map[string]string {
+	out := make(map[string]string, len(configSchema))
+	for k, spec := range configSchema {
+		out[k] = spec.def
+	}
+	for k, v := range d.netdevOnly {
+		out[k] = v
+	}
+	out["upcall-queue-cap"] = fmt.Sprintf("%d", d.kdp.UpcallQueueCap)
+	out["upcall-service-us"] = renderMicros(d.kdp.UpcallServiceInterval)
+	out["upcall-retry-base-us"] = renderMicros(d.kdp.UpcallRetryBase)
+	out["upcall-max-retries"] = fmt.Sprintf("%d", d.kdp.UpcallMaxRetries)
+	out["negative-flow-ttl-us"] = renderMicros(d.kdp.NegativeFlowTTL)
+	return out
+}
+
+// PmdRxqShow implements Dpif: the kernel datapath has no PMD threads, so
+// the softirq-side equivalent is reported — every softirq context that has
+// fed the datapath, with its share of processed packets (the spread the
+// NIC's RSS produced across ksoftirqd contexts).
+func (d *Netlink) PmdRxqShow() string {
+	var total uint64
+	for _, n := range d.softirqPkts {
+		total += n
+	}
+	out := fmt.Sprintf("datapath %s: softirq-side rx contexts (no PMD threads)\n", d.Type())
+	for _, cpu := range d.softirqOrder {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(d.softirqPkts[cpu]) / float64(total)
+		}
+		out += fmt.Sprintf("  softirq %-16s packets: %10d   rx share: %3.0f %%\n",
+			cpu.Name(), d.softirqPkts[cpu], pct)
+	}
+	if len(d.softirqOrder) == 0 {
+		out += "  (no softirq context has fed this datapath yet)\n"
+	}
+	return out
+}
 
 // PerfStats implements Dpif: the kernel datapath processes packets in one
 // logical softirq context, so a single block is returned, named after the

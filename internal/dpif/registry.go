@@ -45,6 +45,11 @@ type Config struct {
 	Options  any
 	Upcall   UpcallConfig
 	Cache    CacheConfig
+	// Other carries ovs-vsctl-style other_config key/value pairs, applied
+	// through SetConfig after the provider is built — the preferred
+	// configuration surface; Options/Upcall/Cache remain as compatibility
+	// shims. A bad key or value fails Open.
+	Other map[string]string
 }
 
 // Factory builds one provider instance.
@@ -62,13 +67,23 @@ func Register(name string, f Factory) {
 	registry[name] = f
 }
 
-// Open builds a datapath of the named type.
+// Open builds a datapath of the named type and applies cfg.Other through
+// its SetConfig.
 func Open(name string, cfg Config) (Dpif, error) {
 	f, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("dpif: unknown datapath type %q (have %v)", name, Types())
 	}
-	return f(cfg)
+	d, err := f(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Other) > 0 {
+		if err := d.SetConfig(cfg.Other); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
 }
 
 // Types lists the registered provider names, sorted.

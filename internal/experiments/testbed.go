@@ -110,6 +110,20 @@ type BedConfig struct {
 	// it). The cache-hierarchy sweep uses this to install a multi-subtable
 	// rule set so the megaflow classifier has real tuple-space work to do.
 	Pipeline *ofproto.Pipeline
+	// PMDs is the number of poll threads for userspace datapaths; zero
+	// keeps the legacy one-thread-per-NIC-queue wiring. Receive queues
+	// are distributed over the threads by the assignment layer, so PMDs
+	// may be smaller than Queues (the corescale sweep's whole point).
+	PMDs int
+	// Other carries ovs-vsctl-style other_config keys applied through
+	// dpif.SetConfig at open — the key/value route to every tunable the
+	// legacy struct fields cover.
+	Other map[string]string
+	// RSSWeights, when set, programs NIC A's RSS indirection table with
+	// one weight per queue (nicsim.WeightedIndirection), skewing traffic
+	// deterministically across receive queues. nil keeps the identity
+	// hash spread.
+	RSSWeights []int
 }
 
 // DefaultCache overlays cache-hierarchy toggles onto every bed DefaultBed
@@ -122,6 +136,13 @@ var DefaultCache struct {
 	SMC              bool
 	EMCInsertInvProb int
 }
+
+// DefaultOther overlays ovs-vsctl-style other_config keys onto every bed
+// DefaultBed builds (`ovsbench -o key=value`). nil changes nothing, keeping
+// default measured outputs byte-identical. Scenarios that pin their own
+// config (corescale's auto-LB arm) set BedConfig.Other directly and are
+// unaffected.
+var DefaultOther map[string]string
 
 // DefaultBed returns the Section 5.2 defaults.
 func DefaultBed(kind DPKind, flows int) BedConfig {
@@ -137,6 +158,7 @@ func DefaultBed(kind DPKind, flows int) BedConfig {
 	if DefaultCache.EMCInsertInvProb > 1 {
 		cfg.Opts.EMCInsertInvProb = DefaultCache.EMCInsertInvProb
 	}
+	cfg.Other = DefaultOther
 	return cfg
 }
 
@@ -206,11 +228,16 @@ func NewP2PBed(cfg BedConfig) *Bed {
 	bed.NICB = nicsim.New(eng, nicsim.Config{Name: "p1", Ifindex: 2, Queues: queues,
 		LinkRate: cfg.LinkRate, Offloads: offloads})
 	bed.NICB.ConnectWire(func(p *packet.Packet) { bed.Delivered++ })
+	if len(cfg.RSSWeights) > 0 {
+		if err := bed.NICA.SetRSSIndirection(nicsim.WeightedIndirection(cfg.RSSWeights)); err != nil {
+			panic(err)
+		}
+	}
 
 	switch cfg.Kind {
 	case KindKernel, KindEBPF:
 		nl := mustOpen(cfg.Kind.DpifType(),
-			dpif.Config{Eng: eng, Pipeline: pipeline}).(*dpif.Netlink)
+			dpif.Config{Eng: eng, Pipeline: pipeline, Other: cfg.Other}).(*dpif.Netlink)
 		bed.DP = nl
 		nl.PortAdd(dpif.TxPort{PortID: 2, PortName: "p1",
 			Deliver: func(p *packet.Packet) { bed.NICB.Transmit(p) }})
@@ -250,7 +277,7 @@ func NewP2PBed(cfg BedConfig) *Bed {
 			panic(err)
 		}
 		nd := mustOpen("netdev",
-			dpif.Config{Eng: eng, Pipeline: pipeline, Options: cfg.Opts}).(*dpif.Netdev)
+			dpif.Config{Eng: eng, Pipeline: pipeline, Options: cfg.Opts, Other: cfg.Other}).(*dpif.Netdev)
 		bed.DP = nd
 		portA := core.NewAFXDPPort(core.AFXDPPortConfig{ID: 1, NIC: bed.NICA, Eng: eng,
 			LockMode: cfg.Lock, ZeroCopy: cfg.ZeroCopy})
@@ -261,29 +288,44 @@ func NewP2PBed(cfg BedConfig) *Bed {
 		bed.dropFns = append(bed.dropFns,
 			func() uint64 { return xskDrops(portA, queues) },
 			func() uint64 { return portA.TxDrops + portB.TxDrops })
-		for q := 0; q < queues; q++ {
-			pmd := nd.NewPMD(cfg.Mode)
-			pmd.AssignRxQueue(portA, q)
-			pmd.Start()
-		}
+		spawnPMDs(nd, cfg.Mode, cfg.PMDs, queues, portA)
 	case KindDPDK:
 		nd := mustOpen("netdev",
-			dpif.Config{Eng: eng, Pipeline: pipeline, Options: cfg.Opts}).(*dpif.Netdev)
+			dpif.Config{Eng: eng, Pipeline: pipeline, Options: cfg.Opts, Other: cfg.Other}).(*dpif.Netdev)
 		bed.DP = nd
 		portA := core.NewDPDKPort(1, bed.NICA)
 		portB := core.NewDPDKPort(2, bed.NICB)
 		nd.PortAdd(portA)
 		nd.PortAdd(portB)
-		for q := 0; q < queues; q++ {
-			pmd := nd.NewPMD(core.ModePoll)
-			pmd.AssignRxQueue(portA, q)
-			pmd.Start()
-		}
+		spawnPMDs(nd, core.ModePoll, cfg.PMDs, queues, portA)
 	}
 
 	bed.Gen = trafficgen.NewUDPGen(eng, cfg.Flows, cfg.FrameSize,
 		func(p *packet.Packet) { bed.NICA.Receive(p) })
 	return bed
+}
+
+// spawnPMDs creates the poll threads for a userspace bed and routes every
+// receive queue through the datapath's assignment layer. pmds <= 0 keeps the
+// legacy one-thread-per-NIC-queue shape; under the default round-robin
+// policy that places queue i on thread i, reproducing the historical hand
+// wiring exactly.
+func spawnPMDs(nd *dpif.Netdev, mode core.Mode, pmds, queues int, rxPorts ...core.Port) {
+	if pmds <= 0 {
+		pmds = queues
+	}
+	threads := make([]*core.PMD, pmds)
+	for i := range threads {
+		threads[i] = nd.NewPMD(mode)
+	}
+	for _, p := range rxPorts {
+		if err := nd.Datapath().DistributeRxqs(p); err != nil {
+			panic(err)
+		}
+	}
+	for _, m := range threads {
+		m.Start()
+	}
 }
 
 func xskDrops(p *core.AFXDPPort, queues int) uint64 {
@@ -350,7 +392,7 @@ func NewPVPBed(cfg BedConfig) *Bed {
 
 	switch cfg.Kind {
 	case KindKernel:
-		nl := mustOpen("netlink", dpif.Config{Eng: eng, Pipeline: pl}).(*dpif.Netlink)
+		nl := mustOpen("netlink", dpif.Config{Eng: eng, Pipeline: pl, Other: cfg.Other}).(*dpif.Netlink)
 		bed.DP = nl
 		nl.SetActiveCPUs(kernelActiveFn(bed, queues, cfg.Flows))
 		// VM attaches via tap: in-kernel handoff (no syscall).
@@ -384,7 +426,7 @@ func NewPVPBed(cfg BedConfig) *Bed {
 		}
 	case KindAFXDP, KindDPDK:
 		nd := mustOpen("netdev",
-			dpif.Config{Eng: eng, Pipeline: pl, Options: cfg.Opts}).(*dpif.Netdev)
+			dpif.Config{Eng: eng, Pipeline: pl, Options: cfg.Opts, Other: cfg.Other}).(*dpif.Netdev)
 		bed.DP = nd
 		var portA, portB core.Port
 		if cfg.Kind == KindAFXDP {
@@ -405,14 +447,9 @@ func NewPVPBed(cfg BedConfig) *Bed {
 		nd.PortAdd(portA)
 		nd.PortAdd(portB)
 		nd.PortAdd(vmPort)
-		for q := 0; q < queues; q++ {
-			pmd := nd.NewPMD(cfg.Mode)
-			pmd.AssignRxQueue(portA, q)
-			if q == 0 {
-				pmd.AssignRxQueue(vmPort, 0)
-			}
-			pmd.Start()
-		}
+		// Round-robin distribution lands the VM port's single queue on the
+		// first thread, matching the historical wiring.
+		spawnPMDs(nd, cfg.Mode, cfg.PMDs, queues, portA, vmPort)
 	}
 
 	bed.Gen = trafficgen.NewUDPGen(eng, cfg.Flows, cfg.FrameSize,
@@ -566,10 +603,7 @@ func NewPCPBed(mode PCPMode, flows int, seed uint64) *Bed {
 		// each way (Section 5.3's explanation of DPDK's latency).
 		dpdkCt := &dpdkContainerPort{id: 3, veth: veth, eng: eng}
 		nd.PortAdd(dpdkCt)
-		pmd := nd.NewPMD(core.ModePoll)
-		pmd.AssignRxQueue(portA, 0)
-		pmd.AssignRxQueue(dpdkCt, 0)
-		pmd.Start()
+		spawnPMDs(nd, core.ModePoll, 1, 1, portA, dpdkCt)
 	}
 
 	_ = ct
@@ -601,6 +635,7 @@ type dpdkContainerPort struct {
 func (p *dpdkContainerPort) ID() uint32       { return p.id }
 func (p *dpdkContainerPort) Name() string     { return "dpdk-afpacket" }
 func (p *dpdkContainerPort) NumRxQueues() int { return 1 }
+func (p *dpdkContainerPort) NumTxQueues() int { return 1 }
 
 func (p *dpdkContainerPort) Rx(cpu *sim.CPU, _, max int) []*packet.Packet {
 	pkts := p.veth.BtoA.Pop(max)

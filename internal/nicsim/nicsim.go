@@ -104,6 +104,11 @@ type NIC struct {
 	queues   []*Queue
 	rssBasis uint32
 	ntuple   []SteeringRule
+	// rssTable is the RSS indirection table (ethtool -X): the hash
+	// selects a slot, the slot names the queue. nil keeps the identity
+	// spread hash%queues — provably the same mapping as a table with
+	// table[i] = i, so configuring nothing changes nothing.
+	rssTable []int
 
 	// wire receives transmitted packets (after serialization delay).
 	wire func(*packet.Packet)
@@ -205,7 +210,41 @@ func (n *NIC) classify(p *packet.Packet) *Queue {
 		p.RSSHash = h
 		p.HasRSSHash = true
 	}
+	if len(n.rssTable) > 0 {
+		return n.queues[n.rssTable[h%uint32(len(n.rssTable))]]
+	}
 	return n.queues[h%uint32(len(n.queues))]
+}
+
+// SetRSSIndirection programs the RSS indirection table (the ethtool -X
+// analog): the packet hash selects table[hash % len], which names the
+// receive queue. Weighted tables skew traffic across queues — how the
+// scaling experiments produce deterministic hot and cold queues. A nil or
+// empty table restores the identity spread. Entries must name existing
+// queues.
+func (n *NIC) SetRSSIndirection(table []int) error {
+	for _, q := range table {
+		if q < 0 || q >= len(n.queues) {
+			return fmt.Errorf("nicsim %s: indirection entry %d out of range (have %d queues)",
+				n.Name, q, len(n.queues))
+		}
+	}
+	n.rssTable = append([]int(nil), table...)
+	return nil
+}
+
+// WeightedIndirection builds an indirection table spreading slots across
+// queues proportionally to the given weights (one per queue). A queue with
+// weight 0 receives no traffic. The table has one slot per weight unit, so
+// small integer weights keep it compact and exact.
+func WeightedIndirection(weights []int) []int {
+	var table []int
+	for q, w := range weights {
+		for i := 0; i < w; i++ {
+			table = append(table, q)
+		}
+	}
+	return table
 }
 
 // SetLink raises or drops the carrier (fault injection: a link flap).

@@ -89,6 +89,14 @@ type Stats struct {
 	UpcallQueueDrops uint64
 	UpcallQueuePeak  uint64
 
+	// TxContended counts packets this thread transmitted over a shared
+	// tx queue (XPS: more PMD threads than the egress port has txqs);
+	// TxLockCycles is the virtual time the shared-txq lock cost — per
+	// packet under the mutex option, per flush under the default batched
+	// spinlock. Both stay zero while every thread owns its tx queues.
+	TxContended  uint64
+	TxLockCycles sim.Time
+
 	batch  *sim.Histogram // packets per non-empty rx batch
 	upcall *sim.Histogram // upcall handling latency (virtual ns)
 	tracer *Tracer        // optional packet-lifecycle ring
@@ -193,6 +201,10 @@ func FormatTable(threads []ThreadStats) string {
 		if s.UpcallQueueDrops > 0 || s.UpcallQueuePeak > 0 {
 			fmt.Fprintf(&b, "  upcall-queue: peak:%d drops:%d\n",
 				s.UpcallQueuePeak, s.UpcallQueueDrops)
+		}
+		if s.TxContended > 0 {
+			fmt.Fprintf(&b, "  tx-xps: contended-pkts:%d lock-cycles:%d\n",
+				s.TxContended, s.TxLockCycles)
 		}
 		total := s.TotalCycles()
 		for st := StageRx; st < NumStages; st++ {

@@ -87,6 +87,27 @@ func (v *VSwitchd) PmdPerfTrace() string {
 	return perf.FormatTrace(v.Datapath.PerfStats())
 }
 
+// PmdRxqShow renders the datapath's rxq-to-thread placement — the
+// `ovs-appctl dpif-netdev/pmd-rxq-show` endpoint. Kernel-side datapaths
+// report their softirq rx contexts instead.
+func (v *VSwitchd) PmdRxqShow() string {
+	return v.Datapath.PmdRxqShow()
+}
+
+// SetOtherConfig applies ovs-vsctl-style other_config keys to the datapath
+// — the `ovs-vsctl set Open_vSwitch . other_config:key=value` endpoint.
+// Validation is all-or-nothing: any unknown key or malformed value leaves
+// the datapath untouched.
+func (v *VSwitchd) SetOtherConfig(kv map[string]string) error {
+	return v.Datapath.SetConfig(kv)
+}
+
+// OtherConfig reads the datapath's effective configuration back — the
+// `ovs-vsctl get Open_vSwitch . other_config` endpoint.
+func (v *VSwitchd) OtherConfig() map[string]string {
+	return v.Datapath.GetConfig()
+}
+
 // Bridges returns the bridge names.
 func (v *VSwitchd) Bridges() []string {
 	v.mu.Lock()
