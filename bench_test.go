@@ -33,6 +33,7 @@ func runExperiment(b *testing.B, id, metricRow, metricName string) {
 	if !ok {
 		b.Fatalf("experiment %s not registered", id)
 	}
+	b.ReportAllocs()
 	var val float64
 	for i := 0; i < b.N; i++ {
 		rep := e.Run(experiments.Quick)
@@ -107,6 +108,7 @@ func benchP2PPerPacket(b *testing.B, kind experiments.DPKind, flows int) {
 	b.ReportMetric(res.Usage.Total(), "HT")
 	// The Go-level work: re-run the packet path b.N times through a fresh
 	// bed at small scale to exercise allocation behaviour.
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = experiments.RunProbe(experiments.NewP2PBed(cfg), 1e5, sim.Millisecond, sim.Millisecond)
@@ -163,6 +165,7 @@ func BenchmarkDpifExecute(b *testing.B) {
 
 // ablationRate finds the lossless rate under a tweaked configuration.
 func ablationRate(b *testing.B, mutate func(*experiments.BedConfig)) float64 {
+	b.ReportAllocs()
 	cfg := experiments.DefaultBed(experiments.KindAFXDP, 1)
 	mutate(&cfg)
 	rate, _, _ := measure.LosslessRate(
@@ -218,6 +221,7 @@ func BenchmarkAblationNoWildcarding(b *testing.B) {
 	// The eBPF datapath's exact-match-only restriction, measured on the
 	// kernel path (Section 2.2.2 footnote: megaflows as eBPF maps were
 	// rejected).
+	b.ReportAllocs()
 	var rate float64
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultBed(experiments.KindEBPF, 1000)

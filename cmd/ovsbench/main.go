@@ -15,6 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"ovsxdp/internal/dpif"
@@ -27,6 +30,11 @@ func main() {
 	scenario := flag.String("scenario", "", "run a robustness scenario instead of an experiment (e.g. restart, cachesweep)")
 	smcOn := flag.Bool("smc", false, "enable the signature match cache on userspace-datapath beds")
 	emcProb := flag.Int("emc-prob", 1, "inverse EMC insertion probability (1 = always insert)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	simspeedOut := flag.String("simspeed-out", "BENCH_simspeed.json", "where -scenario simspeed writes its JSON result")
+	simspeedBaseline := flag.String("simspeed-baseline", "", "compare the simspeed run against this committed JSON; exit nonzero on >20% regression")
+	simspeedPoints := flag.String("simspeed-points", "", "comma-separated simspeed points to run (default: all)")
 	flag.Func("o", "other_config key=value applied to every bed (repeatable, e.g. -o pmd-rxq-assign=cycles)", func(s string) error {
 		for i := 1; i < len(s); i++ {
 			if s[i] == '=' {
@@ -55,6 +63,34 @@ func main() {
 	experiments.DefaultCache.SMC = *smcOn
 	experiments.DefaultCache.EMCInsertInvProb = *emcProb
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ovsbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ovsbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ovsbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ovsbench:", err)
+			}
+		}()
+	}
+
 	if *scenario != "" {
 		s, ok := experiments.GetScenario(*scenario)
 		if !ok {
@@ -64,10 +100,33 @@ func main() {
 			}
 			os.Exit(1)
 		}
+		if s.ID == "simspeed" {
+			experiments.SimspeedJSONPath = *simspeedOut
+			if *simspeedPoints != "" {
+				experiments.SimspeedOnly = map[string]bool{}
+				for _, p := range strings.Split(*simspeedPoints, ",") {
+					experiments.SimspeedOnly[strings.TrimSpace(p)] = true
+				}
+			}
+		}
 		start := time.Now()
 		rep := s.Run(profile)
 		fmt.Print(rep)
 		fmt.Printf("  (%s in %.1fs)\n", s.ID, time.Since(start).Seconds())
+		if s.ID == "simspeed" && *simspeedBaseline != "" {
+			cur, err := experiments.LoadSimspeedJSON(*simspeedOut)
+			if err == nil {
+				var base experiments.SimspeedResult
+				base, err = experiments.LoadSimspeedJSON(*simspeedBaseline)
+				if err == nil {
+					err = experiments.CompareSimspeed(cur, base, 0.20)
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ovsbench:", err)
+				os.Exit(3)
+			}
+		}
 		return
 	}
 
@@ -117,11 +176,12 @@ func usage() {
 
 usage:
   ovsbench [-quick] [-perf] [-smc] [-emc-prob N] [-o key=value]... list | all | <experiment>...
-  ovsbench [-quick] -scenario <scenario>
+  ovsbench [-quick] [-cpuprofile f] [-memprofile f] -scenario <scenario>
+  ovsbench [-quick] -scenario simspeed [-simspeed-out f] [-simspeed-baseline f] [-simspeed-points a,b]
 
 experiments: fig1 fig2 fig8a fig8b fig8c fig9a fig9b fig9c fig10 fig11 fig12
              table1 table2 table3 table4 table5
-scenarios:   restart cachesweep corescale
+scenarios:   restart cachesweep corescale simspeed
 `)
 	flag.PrintDefaults()
 }

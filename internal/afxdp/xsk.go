@@ -27,6 +27,10 @@ type XSK struct {
 	// are retried with backoff by the port, so a transient stall recovers.
 	Stall func() bool
 
+	// addrScratch is reused by ReclaimCompletions and RefillFill so the
+	// per-batch address staging allocates nothing in steady state.
+	addrScratch []uint64
+
 	// Stats.
 	RxDelivered uint64 // packets the kernel delivered to the rx ring
 	RxDropFill  uint64 // drops: fill ring empty
@@ -144,7 +148,7 @@ func (x *XSK) KernelDrainTx(n int, emit func(frame []byte)) int {
 // ReclaimCompletions returns transmitted buffers from the completion ring
 // to the pool, up to n, and returns the count reclaimed.
 func (x *XSK) ReclaimCompletions(pool *Pool, n int) int {
-	addrs := make([]uint64, 0, n)
+	addrs := x.addrScratch[:0]
 	for len(addrs) < n {
 		d, ok := x.Umem.Completion.Pop()
 		if !ok {
@@ -155,6 +159,7 @@ func (x *XSK) ReclaimCompletions(pool *Pool, n int) int {
 	if len(addrs) > 0 {
 		pool.ReleaseBatch(addrs)
 	}
+	x.addrScratch = addrs
 	return len(addrs)
 }
 
@@ -164,7 +169,10 @@ func (x *XSK) RefillFill(pool *Pool, n int) int {
 	if free := x.Umem.Fill.Free(); n > free {
 		n = free
 	}
-	addrs := make([]uint64, n)
+	if cap(x.addrScratch) < n {
+		x.addrScratch = make([]uint64, n)
+	}
+	addrs := x.addrScratch[:n]
 	got := pool.AllocBatch(addrs, n)
 	for _, a := range addrs[:got] {
 		x.Umem.Fill.Push(Desc{Addr: a})

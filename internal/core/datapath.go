@@ -368,6 +368,7 @@ func (d *Datapath) processOne(m *PMD, p *packet.Packet, depth int) {
 func (d *Datapath) processCounted(m *PMD, p *packet.Packet, depth int, count bool) {
 	if depth > maxRecircDepth {
 		d.Drops++
+		p.Release()
 		return
 	}
 	if count {
@@ -420,6 +421,7 @@ func (d *Datapath) processCounted(m *PMD, p *packet.Packet, depth int, count boo
 		// extractor returns EINVAL, not an upcall).
 		if flow.Malformed(p) {
 			d.MalformedDrops++
+			p.Release()
 			return
 		}
 		d.Upcalls++
@@ -432,10 +434,10 @@ func (d *Datapath) processCounted(m *PMD, p *packet.Packet, depth int, count boo
 			if len(m.upcallQ) >= d.Opts.UpcallQueueCap {
 				d.UpcallQueueDrops++
 				m.Perf.UpcallQueueDrops++
+				p.Release()
 				return
 			}
-			m.upcallQ = append(m.upcallQ,
-				&pendingUpcall{key: key, pkt: p, enq: d.Eng.Now()})
+			m.upcallQ = append(m.upcallQ, m.newUpcall(key, p))
 			if n := uint64(len(m.upcallQ)); n > m.Perf.UpcallQueuePeak {
 				m.Perf.UpcallQueuePeak = n
 			}
@@ -452,6 +454,7 @@ func (d *Datapath) processCounted(m *PMD, p *packet.Packet, depth int, count boo
 			d.UpcallErrors++
 			d.Drops++
 			d.installNegativeFlow(m, key)
+			p.Release()
 			return
 		}
 		e = m.cls.Insert(key, mf.Mask, mf.Actions)
@@ -461,6 +464,7 @@ func (d *Datapath) processCounted(m *PMD, p *packet.Packet, depth int, count boo
 	actions, _ := e.Actions.([]ofproto.DPAction)
 	if len(actions) == 0 {
 		d.Drops++
+		p.Release()
 		return
 	}
 	d.execute(m, p, actions, depth)
@@ -533,6 +537,7 @@ func (d *Datapath) execute(m *PMD, p *packet.Packet, actions []ofproto.DPAction,
 			out := d.ports[a.Port]
 			if out == nil {
 				d.Drops++
+				p.Release()
 				return
 			}
 			m.charge(perf.StageActions, costmodel.ExecActionOutput)
@@ -610,6 +615,7 @@ func (d *Datapath) execute(m *PMD, p *packet.Packet, actions []ofproto.DPAction,
 			if !d.Pipeline.MeterAllow(a.MeterID, len(p.Data), d.Eng.Now()) {
 				d.MeterDrops++
 				d.Drops++
+				p.Release()
 				return
 			}
 		}

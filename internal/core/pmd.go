@@ -91,15 +91,22 @@ type PMD struct {
 	active  bool // has seen work; feeds the contention count
 	// touched lists ports with batched transmissions pending flush, in
 	// first-touch order — a deterministic flush sequence, where ranging
-	// over a map would reorder costs run to run. touchedSeen dedups.
-	touched     []Port
-	touchedSeen map[Port]bool
+	// over a map would reorder costs run to run. Dedup is a linear scan:
+	// a PMD touches a handful of ports per iteration at most.
+	touched []Port
+
+	// iterTimer rearms the iterate loop; upcallTimer arms handler
+	// service. Timers bind the method value once, so rescheduling every
+	// iteration allocates nothing.
+	iterTimer   *sim.Timer
+	upcallTimer *sim.Timer
 
 	// upcallQ parks packets awaiting slow-path translation when
 	// Options.UpcallQueueCap bounds the queue; upcallBusy is set while a
-	// handler service event is in flight.
+	// handler service event is in flight. upcallFree recycles records.
 	upcallQ    []*pendingUpcall
 	upcallBusy bool
+	upcallFree []*pendingUpcall
 
 	// Perf is the thread's performance-counter block (dpif-netdev-perf):
 	// virtual cycles bucketed by stage, batch and upcall histograms, and
@@ -127,16 +134,17 @@ func (d *Datapath) NewPMD(mode Mode, cpu *sim.CPU) *PMD {
 		cpu = d.Eng.NewCPU(fmt.Sprintf("pmd%d", id))
 	}
 	m := &PMD{
-		ID:          id,
-		CPU:         cpu,
-		dp:          d,
-		emc:         emc.New[*dpcls.Entry](costmodel.EMCEntries, uint32(id)*0x9e37+1),
-		cls:         dpcls.New(uint32(id)*0x79b9 + 7),
-		mode:        mode,
-		touchedSeen: make(map[Port]bool),
-		Perf:        perf.NewStats(),
-		insRand:     sim.NewRand(0x51c0ffee ^ uint64(id)<<20),
+		ID:      id,
+		CPU:     cpu,
+		dp:      d,
+		emc:     emc.New[*dpcls.Entry](costmodel.EMCEntries, uint32(id)*0x9e37+1),
+		cls:     dpcls.New(uint32(id)*0x79b9 + 7),
+		mode:    mode,
+		Perf:    perf.NewStats(),
+		insRand: sim.NewRand(0x51c0ffee ^ uint64(id)<<20),
 	}
+	m.iterTimer = d.Eng.NewTimer(m.iterate)
+	m.upcallTimer = d.Eng.NewTimer(m.serviceUpcall)
 	if d.Opts.SMC {
 		entries := d.Opts.SMCEntries
 		if entries <= 0 {
@@ -254,7 +262,7 @@ func (m *PMD) wake() {
 		return
 	}
 	m.running = true
-	m.dp.Eng.Schedule(0, m.iterate)
+	m.iterTimer.Schedule(0)
 }
 
 func (m *PMD) armAll() {
@@ -270,7 +278,7 @@ func (m *PMD) onInterrupt() {
 	// Wakeup: context switch into the blocked thread.
 	m.charge(perf.StageRx, costmodel.InterruptModeWakeup)
 	m.running = true
-	m.dp.Eng.ScheduleAt(m.CPU.FreeAt(), m.iterate)
+	m.iterTimer.ScheduleAt(m.CPU.FreeAt())
 }
 
 // iterate is one pass over the assigned receive queues.
@@ -335,7 +343,6 @@ func (m *PMD) iterate() {
 			m.Perf.TxLockCycles += costmodel.XPSTxSpinPerFlush
 		}
 		port.Flush(m.CPU, m.dp.TxqFor(m, port))
-		delete(m.touchedSeen, port)
 	}
 	m.touched = m.touched[:0]
 	m.Perf.Add(perf.StageActions, m.CPU.BusyTotal()-flushBefore)
@@ -354,15 +361,17 @@ func (m *PMD) iterate() {
 		if now := m.dp.Eng.Now(); next < now {
 			next = now
 		}
-		m.dp.Eng.ScheduleAt(next, m.iterate)
+		m.iterTimer.ScheduleAt(next)
 	}
 }
 
 func (m *PMD) touch(p Port) {
-	if !m.touchedSeen[p] {
-		m.touchedSeen[p] = true
-		m.touched = append(m.touched, p)
+	for _, q := range m.touched {
+		if q == p {
+			return
+		}
 	}
+	m.touched = append(m.touched, p)
 }
 
 // pendingUpcall is one packet parked in a PMD's bounded upcall queue.
@@ -373,6 +382,23 @@ type pendingUpcall struct {
 	attempt int      // backoff retries consumed so far
 }
 
+// newUpcall takes a record from the PMD's free list or allocates one.
+func (m *PMD) newUpcall(key flow.Key, pkt *packet.Packet) *pendingUpcall {
+	if n := len(m.upcallFree); n > 0 {
+		u := m.upcallFree[n-1]
+		m.upcallFree = m.upcallFree[:n-1]
+		*u = pendingUpcall{key: key, pkt: pkt, enq: m.dp.Eng.Now()}
+		return u
+	}
+	return &pendingUpcall{key: key, pkt: pkt, enq: m.dp.Eng.Now()}
+}
+
+// freeUpcall recycles a serviced record.
+func (m *PMD) freeUpcall(u *pendingUpcall) {
+	*u = pendingUpcall{}
+	m.upcallFree = append(m.upcallFree, u)
+}
+
 // kickUpcalls schedules the next queued upcall for service one handler
 // service interval from now — the configurable handler service rate that
 // makes the queue a real M/D/1-style bottleneck instead of an inline call.
@@ -381,7 +407,7 @@ func (m *PMD) kickUpcalls() {
 		return
 	}
 	m.upcallBusy = true
-	m.dp.Eng.Schedule(m.dp.upcallInterval(), m.serviceUpcall)
+	m.upcallTimer.Schedule(m.dp.upcallInterval())
 }
 
 // serviceUpcall handles one parked upcall on the handler thread: translate
@@ -402,6 +428,7 @@ func (m *PMD) serviceUpcall() {
 	// dedup against the classifier so only one translation happens.
 	if e, _ := m.cls.Lookup(u.key); e != nil {
 		d.processCounted(m, u.pkt, 0, false)
+		m.freeUpcall(u)
 		return
 	}
 
@@ -426,9 +453,12 @@ func (m *PMD) serviceUpcall() {
 		d.Drops++
 		m.Perf.AddUpcall(d.Eng.Now() - u.enq)
 		d.installNegativeFlow(m, u.key)
+		u.pkt.Release()
+		m.freeUpcall(u)
 		return
 	}
 	m.cls.Insert(u.key, mf.Mask, mf.Actions)
 	m.Perf.AddUpcall(d.Eng.Now() - u.enq)
 	d.processCounted(m, u.pkt, 0, false)
+	m.freeUpcall(u)
 }

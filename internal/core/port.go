@@ -99,6 +99,19 @@ type AFXDPPort struct {
 	// simulation; PMDs run one event at a time).
 	scratchDescs []afxdp.Desc
 	scratchAddrs []uint64
+	// scratchOut is the packet slice Rx returns; the PMD consumes it
+	// within the same event, so one buffer per port suffices.
+	scratchOut []*packet.Packet
+	// rxPool recycles receive-side packet metadata+buffers (released by
+	// Tx once the frame is copied into umem, or on any drop); txPool does
+	// the same for kernel tx-drain frames headed to the NIC.
+	rxPool *packet.Pool
+	txPool *packet.Pool
+	// drainFns are the pre-bound per-queue tx-drain thunks Flush
+	// schedules, so a flush does not allocate a closure; drainEmit is the
+	// bound frame-emit callback KernelDrainTx invokes.
+	drainFns  []func()
+	drainEmit func(frame []byte)
 
 	// TxDrops counts packets lost to a full tx ring.
 	TxDrops uint64
@@ -123,6 +136,15 @@ func NewAFXDPPort(cfg AFXDPPortConfig) *AFXDPPort {
 		zeroCopy:    cfg.ZeroCopy,
 		pendingKick: make(map[int]bool),
 		armFns:      make(map[int]func()),
+		rxPool:      packet.NewPool(rxPoolSize, umem.ChunkSize(), true),
+		txPool:      packet.NewPool(txPoolSize, umem.ChunkSize(), true),
+	}
+	for q := 0; q < nq; q++ {
+		qq := q
+		p.drainFns = append(p.drainFns, func() { p.drainTx(qq, 0) })
+	}
+	p.drainEmit = func(frame []byte) {
+		p.nic.Transmit(p.txPool.GetCopy(frame))
 	}
 	for q := 0; q < nq; q++ {
 		xsk := afxdp.NewXSK(uint32(q), q, umem)
@@ -162,6 +184,10 @@ func NewAFXDPPort(cfg AFXDPPortConfig) *AFXDPPort {
 			}
 			if inner != nil {
 				inner(sock, pkt)
+			} else {
+				// The frame now lives in umem (or was dropped by a
+				// full rx ring); the wire-side packet is done.
+				pkt.Release()
 			}
 		}
 		actor := &kernelsim.NAPIActor{
@@ -181,20 +207,31 @@ func NewAFXDPPort(cfg AFXDPPortConfig) *AFXDPPort {
 	return p
 }
 
+// rxPoolSize / txPoolSize bound in-flight packets on each side of an
+// AF_XDP port: rx is capped by ring depth and batch size, tx by the drain
+// burst. Overflow falls back to heap allocation gracefully.
+const (
+	rxPoolSize = 1024
+	txPoolSize = 2048
+)
+
 // deliverOne runs one packet through the XDP stage and verdict handling.
 func (p *AFXDPPort) deliverOne(cpu *sim.CPU, queue *nicsim.Queue, q int, pkt *packet.Packet, v nicsim.DriverVerdicts) {
 	cpu.Consume(sim.Softirq, costmodel.XDPDriverOverhead)
 	hook := p.nic.Hook
 	if !hook.HasProgram() {
+		pkt.Release()
 		return // no program: packet goes to the host stack (dropped here)
 	}
 	res, cost, err := hook.Run(q, pkt.Data, p.nic.Ifindex)
 	cpu.Consume(sim.Softirq, cost)
 	if err != nil {
+		pkt.Release()
 		return
 	}
 	switch res.Action {
-	case 2: // XDP_PASS: host stack
+	case 2: // XDP_PASS: host stack (dropped here)
+		pkt.Release()
 	case 3: // XDP_TX
 		cpu.Consume(sim.Softirq, costmodel.XDPTxForward)
 		if v.Tx != nil {
@@ -207,10 +244,12 @@ func (p *AFXDPPort) deliverOne(cpu *sim.CPU, queue *nicsim.Queue, q int, pkt *pa
 			Target(uint32) (uint32, bool)
 		})
 		if !ok {
+			pkt.Release()
 			return
 		}
 		tgt, ok := tm.Target(res.RedirectIndex)
 		if !ok {
+			pkt.Release()
 			return
 		}
 		if res.RedirectMap.Type().String() == "xskmap" {
@@ -218,7 +257,11 @@ func (p *AFXDPPort) deliverOne(cpu *sim.CPU, queue *nicsim.Queue, q int, pkt *pa
 		} else if v.ToDev != nil {
 			cpu.Consume(sim.Softirq, costmodel.XDPRedirectVeth)
 			v.ToDev(tgt, pkt)
+		} else {
+			pkt.Release()
 		}
+	default: // XDP_DROP / XDP_ABORTED
+		pkt.Release()
 	}
 }
 
@@ -266,11 +309,11 @@ func (p *AFXDPPort) Rx(cpu *sim.CPU, q, max int) []*packet.Packet {
 	if n == 0 {
 		return nil
 	}
-	out := make([]*packet.Packet, 0, n)
+	out := p.scratchOut[:0]
 	addrs := p.scratchAddrs[:0]
 	for _, d := range descs[:n] {
 		buf := xsk.Umem.Buffer(d.Addr, int(d.Len))
-		pkt := packet.New(append(make([]byte, 0, len(buf)), buf...))
+		pkt := p.rxPool.GetCopy(buf)
 		pkt.InPort = p.id
 		// AF_XDP cannot see the NIC's descriptor metadata: neither the
 		// validated-checksum flag nor the RSS hash survive the XDP
@@ -291,6 +334,7 @@ func (p *AFXDPPort) Rx(cpu *sim.CPU, q, max int) []*packet.Packet {
 	xsk.RefillFill(p.pool, n)
 	cpu.Consume(sim.User, sim.Time(n)*costmodel.AFXDPFillRefill+
 		p.lockCost(n)+sim.Time(n)*costmodel.UmempoolOpBatched)
+	p.scratchOut = out
 	return out
 }
 
@@ -310,6 +354,7 @@ func (p *AFXDPPort) Tx(cpu *sim.CPU, txq int, pkt *packet.Packet) {
 	}
 	if !ok {
 		p.TxDrops++
+		pkt.Release()
 		return
 	}
 	n := len(pkt.Data)
@@ -317,6 +362,8 @@ func (p *AFXDPPort) Tx(cpu *sim.CPU, txq int, pkt *packet.Packet) {
 		n = p.umem.ChunkSize()
 	}
 	copy(p.umem.Buffer(addr, n), pkt.Data[:n])
+	// The frame now lives in a umem chunk; the packet object is done.
+	pkt.Release()
 	xsk := p.xsks[txq%len(p.xsks)]
 	cpu.Consume(sim.User, costmodel.AFXDPTxDescriptor)
 	if !xsk.UserTransmit(afxdp.Desc{Addr: addr, Len: uint32(n)}) {
@@ -339,7 +386,7 @@ func (p *AFXDPPort) Flush(cpu *sim.CPU, txq int) {
 	if xsk.Kick() {
 		cpu.Consume(sim.System, costmodel.AFXDPTxKickSyscall)
 	}
-	p.eng.Schedule(0, func() { p.drainTx(q, 0) })
+	p.eng.Schedule(0, p.drainFns[q])
 }
 
 // maxTxStallRetries bounds the backoff retries of one stalled tx drain; at
@@ -362,10 +409,7 @@ func (p *AFXDPPort) drainTx(q, attempt int) {
 		return
 	}
 	scpu := p.softirq[q]
-	n := xsk.KernelDrainTx(afxdp.DefaultRingSize, func(frame []byte) {
-		out := packet.New(append([]byte(nil), frame...))
-		p.nic.Transmit(out)
-	})
+	n := xsk.KernelDrainTx(afxdp.DefaultRingSize, p.drainEmit)
 	scpu.Consume(sim.Softirq, sim.Time(n)*costmodel.AFXDPTxKernelDrain)
 	xsk.ReclaimCompletions(p.pool, n)
 }

@@ -14,6 +14,21 @@ type Program struct {
 	maps  map[int64]Map
 
 	verified bool
+
+	// scratch is the per-execution memory reused across Run calls. The
+	// simulator is single-goroutine and programs never run reentrantly, so
+	// one scratch per program suffices; reusing it keeps the per-packet hot
+	// path allocation-free.
+	scratch runScratch
+}
+
+// runScratch holds the interpreter's per-run mutable state: the BPF stack
+// and the map-value regions handed out by map_lookup during the run. The
+// stack is re-zeroed at the top of every Run so programs still observe a
+// fresh stack, exactly as when it was a local variable.
+type runScratch struct {
+	stack   [StackSize]byte
+	mapVals [][]byte
 }
 
 // NewProgram builds a program from instructions.
@@ -124,33 +139,16 @@ func (p *Program) Run(ctx *Context) (Result, error) {
 	}
 
 	var regs [NumRegs]uint64
-	var stack [StackSize]byte
 	regs[R1] = vaCtx
 	regs[R10] = vaStackTop
 
-	// Map-value regions handed out by map_lookup during this run.
-	var mapVals [][]byte
-
-	resolve := func(addr uint64, size int, pc int) ([]byte, bool, error) {
-		switch {
-		case addr >= vaPacket && addr+uint64(size) <= vaPacket+uint64(len(ctx.Packet)):
-			off := addr - vaPacket
-			return ctx.Packet[off : off+uint64(size)], true, nil
-		case addr <= vaStackTop && addr >= vaStackTop-StackSize && addr+uint64(size) <= vaStackTop:
-			off := StackSize - (vaStackTop - addr)
-			return stack[off : off+uint64(size)], false, nil
-		case addr >= vaMapVal:
-			idx := (addr - vaMapVal) / mapValStep
-			if int(idx) < len(mapVals) {
-				off := (addr - vaMapVal) % mapValStep
-				v := mapVals[idx]
-				if off+uint64(size) <= uint64(len(v)) {
-					return v[off : off+uint64(size)], false, nil
-				}
-			}
-		}
-		return nil, false, &ErrRuntime{pc, fmt.Sprintf("bad memory access at %#x size %d", addr, size)}
+	// Reset the reusable scratch: a freshly zeroed stack (the range-clear
+	// compiles to a memclr) and an empty map-value table.
+	sc := &p.scratch
+	for i := range sc.stack {
+		sc.stack[i] = 0
 	}
+	sc.mapVals = sc.mapVals[:0]
 
 	const maxExec = 2 * MaxInsns // loop-free programs can't exceed len(Insns)
 	pc := 0
@@ -222,7 +220,7 @@ func (p *Program) Run(ctx *Context) (Result, error) {
 				break
 			}
 			addr := regs[in.Src] + uint64(int64(in.Off))
-			mem, isPkt, err := resolve(addr, int(in.Size), pc)
+			mem, isPkt, err := p.resolve(ctx, addr, int(in.Size), pc)
 			if err != nil {
 				return res, err
 			}
@@ -235,7 +233,7 @@ func (p *Program) Run(ctx *Context) (Result, error) {
 
 		case OpStx, OpSt:
 			addr := regs[in.Dst] + uint64(int64(in.Off))
-			mem, isPkt, err := resolve(addr, int(in.Size), pc)
+			mem, isPkt, err := p.resolve(ctx, addr, int(in.Size), pc)
 			if err != nil {
 				return res, err
 			}
@@ -284,7 +282,7 @@ func (p *Program) Run(ctx *Context) (Result, error) {
 			}
 
 		case OpCall:
-			if err := p.call(ctx, Helper(in.Imm), &regs, stack[:], &mapVals, &res, pc); err != nil {
+			if err := p.call(ctx, Helper(in.Imm), &regs, &res, pc); err != nil {
 				return res, err
 			}
 
@@ -299,20 +297,46 @@ func (p *Program) Run(ctx *Context) (Result, error) {
 	}
 }
 
-// call dispatches a helper.
-func (p *Program) call(ctx *Context, h Helper, regs *[NumRegs]uint64, stack []byte, mapVals *[][]byte, res *Result, pc int) error {
-	readMem := func(addr uint64, n int) ([]byte, error) {
-		switch {
-		case addr >= vaPacket && addr+uint64(n) <= vaPacket+uint64(len(ctx.Packet)):
-			off := addr - vaPacket
-			res.TouchedPacket = true
-			return ctx.Packet[off : off+uint64(n)], nil
-		case addr <= vaStackTop && addr >= vaStackTop-StackSize && addr+uint64(n) <= vaStackTop:
-			off := StackSize - (vaStackTop - addr)
-			return stack[off : off+uint64(n)], nil
+// resolve maps a virtual address to interpreter memory (packet, stack, or a
+// map value handed out this run). It is a method rather than a closure so
+// the hot loop captures nothing and the stack array never escapes.
+func (p *Program) resolve(ctx *Context, addr uint64, size int, pc int) ([]byte, bool, error) {
+	switch {
+	case addr >= vaPacket && addr+uint64(size) <= vaPacket+uint64(len(ctx.Packet)):
+		off := addr - vaPacket
+		return ctx.Packet[off : off+uint64(size)], true, nil
+	case addr <= vaStackTop && addr >= vaStackTop-StackSize && addr+uint64(size) <= vaStackTop:
+		off := StackSize - (vaStackTop - addr)
+		return p.scratch.stack[off : off+uint64(size)], false, nil
+	case addr >= vaMapVal:
+		idx := (addr - vaMapVal) / mapValStep
+		if int(idx) < len(p.scratch.mapVals) {
+			off := (addr - vaMapVal) % mapValStep
+			v := p.scratch.mapVals[idx]
+			if off+uint64(size) <= uint64(len(v)) {
+				return v[off : off+uint64(size)], false, nil
+			}
 		}
-		return nil, &ErrRuntime{pc, fmt.Sprintf("helper pointer %#x out of range", addr)}
 	}
+	return nil, false, &ErrRuntime{pc, fmt.Sprintf("bad memory access at %#x size %d", addr, size)}
+}
+
+// readMem resolves a helper argument pointer (packet or stack only).
+func (p *Program) readMem(ctx *Context, res *Result, addr uint64, n int, pc int) ([]byte, error) {
+	switch {
+	case addr >= vaPacket && addr+uint64(n) <= vaPacket+uint64(len(ctx.Packet)):
+		off := addr - vaPacket
+		res.TouchedPacket = true
+		return ctx.Packet[off : off+uint64(n)], nil
+	case addr <= vaStackTop && addr >= vaStackTop-StackSize && addr+uint64(n) <= vaStackTop:
+		off := StackSize - (vaStackTop - addr)
+		return p.scratch.stack[off : off+uint64(n)], nil
+	}
+	return nil, &ErrRuntime{pc, fmt.Sprintf("helper pointer %#x out of range", addr)}
+}
+
+// call dispatches a helper.
+func (p *Program) call(ctx *Context, h Helper, regs *[NumRegs]uint64, res *Result, pc int) error {
 	clobber := func(r0 uint64) {
 		regs[R0] = r0
 		for r := R1; r <= R5; r++ {
@@ -326,7 +350,7 @@ func (p *Program) call(ctx *Context, h Helper, regs *[NumRegs]uint64, stack []by
 		if m == nil {
 			return &ErrRuntime{pc, "map_lookup on unknown map"}
 		}
-		key, err := readMem(regs[R2], m.KeySize())
+		key, err := p.readMem(ctx, res, regs[R2], m.KeySize(), pc)
 		if err != nil {
 			return err
 		}
@@ -341,8 +365,8 @@ func (p *Program) call(ctx *Context, h Helper, regs *[NumRegs]uint64, stack []by
 			clobber(0)
 			return nil
 		}
-		*mapVals = append(*mapVals, v)
-		clobber(vaMapVal + uint64(len(*mapVals)-1)*mapValStep)
+		p.scratch.mapVals = append(p.scratch.mapVals, v)
+		clobber(vaMapVal + uint64(len(p.scratch.mapVals)-1)*mapValStep)
 		return nil
 
 	case HelperMapUpdate:
@@ -350,11 +374,11 @@ func (p *Program) call(ctx *Context, h Helper, regs *[NumRegs]uint64, stack []by
 		if m == nil {
 			return &ErrRuntime{pc, "map_update on unknown map"}
 		}
-		key, err := readMem(regs[R2], m.KeySize())
+		key, err := p.readMem(ctx, res, regs[R2], m.KeySize(), pc)
 		if err != nil {
 			return err
 		}
-		val, err := readMem(regs[R3], m.ValueSize())
+		val, err := p.readMem(ctx, res, regs[R3], m.ValueSize(), pc)
 		if err != nil {
 			return err
 		}
@@ -371,7 +395,7 @@ func (p *Program) call(ctx *Context, h Helper, regs *[NumRegs]uint64, stack []by
 		if m == nil {
 			return &ErrRuntime{pc, "map_delete on unknown map"}
 		}
-		key, err := readMem(regs[R2], m.KeySize())
+		key, err := p.readMem(ctx, res, regs[R2], m.KeySize(), pc)
 		if err != nil {
 			return err
 		}

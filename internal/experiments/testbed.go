@@ -227,7 +227,7 @@ func NewP2PBed(cfg BedConfig) *Bed {
 		LinkRate: cfg.LinkRate, Offloads: offloads})
 	bed.NICB = nicsim.New(eng, nicsim.Config{Name: "p1", Ifindex: 2, Queues: queues,
 		LinkRate: cfg.LinkRate, Offloads: offloads})
-	bed.NICB.ConnectWire(func(p *packet.Packet) { bed.Delivered++ })
+	bed.NICB.ConnectWire(func(p *packet.Packet) { bed.Delivered++; p.Release() })
 	if len(cfg.RSSWeights) > 0 {
 		if err := bed.NICA.SetRSSIndirection(nicsim.WeightedIndirection(cfg.RSSWeights)); err != nil {
 			panic(err)
@@ -355,7 +355,7 @@ func NewPVPBed(cfg BedConfig) *Bed {
 		LinkRate: cfg.LinkRate, Offloads: offloads})
 	bed.NICB = nicsim.New(eng, nicsim.Config{Name: "p1", Ifindex: 2, Queues: queues,
 		LinkRate: cfg.LinkRate, Offloads: offloads})
-	bed.NICB.ConnectWire(func(p *packet.Packet) { bed.Delivered++ })
+	bed.NICB.ConnectWire(func(p *packet.Packet) { bed.Delivered++; p.Release() })
 
 	// Pipeline: NIC A (port 1) -> VM (port 3); VM (port 3) -> NIC B
 	// (port 2).
@@ -509,7 +509,7 @@ func NewPCPBed(mode PCPMode, flows int, seed uint64) *Bed {
 		LinkRate: costmodel.LinkRate25G})
 	bed.NICB = nicsim.New(eng, nicsim.Config{Name: "p1", Ifindex: 2, Queues: 1,
 		LinkRate: costmodel.LinkRate25G})
-	bed.NICB.ConnectWire(func(p *packet.Packet) { bed.Delivered++ })
+	bed.NICB.ConnectWire(func(p *packet.Packet) { bed.Delivered++; p.Release() })
 
 	veth := vdev.NewVethPair("veth0")
 	ct := containersim.New(eng, containersim.Config{Name: "c0", Veth: veth, FastPath: true})

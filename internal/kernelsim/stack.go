@@ -81,6 +81,8 @@ type NAPIActor struct {
 
 	running bool
 	stopped bool
+	// pollTimer rearms poll without a per-iteration closure.
+	pollTimer *sim.Timer
 	// Polls and Packets count activity.
 	Polls   uint64
 	Packets uint64
@@ -90,6 +92,9 @@ type NAPIActor struct {
 func (a *NAPIActor) Start() {
 	if a.Category == 0 {
 		a.Category = sim.Softirq
+	}
+	if a.pollTimer == nil {
+		a.pollTimer = a.Eng.NewTimer(a.poll)
 	}
 	a.Src.SetWake(a.wake)
 	a.Src.ArmWake()
@@ -114,7 +119,7 @@ func (a *NAPIActor) wake() {
 		return
 	}
 	a.running = true
-	a.Eng.Schedule(0, a.poll)
+	a.pollTimer.Schedule(0)
 }
 
 func (a *NAPIActor) poll() {
@@ -138,7 +143,7 @@ func (a *NAPIActor) poll() {
 	if now := a.Eng.Now(); next < now {
 		next = now
 	}
-	a.Eng.ScheduleAt(next, a.poll)
+	a.pollTimer.ScheduleAt(next)
 }
 
 // --- Socket-level cost helpers -------------------------------------------------

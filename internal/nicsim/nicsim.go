@@ -54,10 +54,18 @@ type SteeringRule struct {
 type Queue struct {
 	ID int
 
+	// ring is consumed from head and appended at the tail; when fully
+	// drained both reset, so the backing array is reused indefinitely.
 	ring     []*packet.Packet
+	head     int
 	depth    int
 	irqFn    func()
 	irqArmed bool
+
+	// scratch is the reusable slice returned by Pop. Callers consume it
+	// synchronously (single-threaded simulation) and must not retain it
+	// across events.
+	scratch []*packet.Packet
 
 	// Stats.
 	RxPackets uint64
@@ -65,17 +73,28 @@ type Queue struct {
 }
 
 // Len returns the number of packets waiting in the queue.
-func (q *Queue) Len() int { return len(q.ring) }
+func (q *Queue) Len() int { return len(q.ring) - q.head }
 
-// Pop removes up to max packets.
+// Pop removes up to max packets. The returned slice is reused by the next
+// Pop; callers must finish with it before yielding to the engine.
 func (q *Queue) Pop(max int) []*packet.Packet {
 	n := max
-	if n > len(q.ring) {
-		n = len(q.ring)
+	if avail := len(q.ring) - q.head; n > avail {
+		n = avail
 	}
-	out := q.ring[:n:n]
-	q.ring = append([]*packet.Packet(nil), q.ring[n:]...)
-	return out
+	if n == 0 {
+		return nil
+	}
+	q.scratch = append(q.scratch[:0], q.ring[q.head:q.head+n]...)
+	for i := q.head; i < q.head+n; i++ {
+		q.ring[i] = nil
+	}
+	q.head += n
+	if q.head == len(q.ring) {
+		q.ring = q.ring[:0]
+		q.head = 0
+	}
+	return q.scratch
 }
 
 // SetInterrupt installs the interrupt handler; arming is separate so NAPI
@@ -110,8 +129,11 @@ type NIC struct {
 	// table[i] = i, so configuring nothing changes nothing.
 	rssTable []int
 
-	// wire receives transmitted packets (after serialization delay).
-	wire func(*packet.Packet)
+	// wire receives transmitted packets (after serialization delay);
+	// wireArg is the same callback in ScheduleArg form, bound once so
+	// per-frame delivery scheduling does not allocate a closure.
+	wire    func(*packet.Packet)
+	wireArg func(any)
 	// txFreeAt paces the transmit side at line rate.
 	txFreeAt sim.Time
 
@@ -187,7 +209,10 @@ func (n *NIC) AddSteeringRule(r SteeringRule) error {
 
 // ConnectWire attaches the function that receives transmitted packets (the
 // other end of the cable, a switch port, or a test sink).
-func (n *NIC) ConnectWire(fn func(*packet.Packet)) { n.wire = fn }
+func (n *NIC) ConnectWire(fn func(*packet.Packet)) {
+	n.wire = fn
+	n.wireArg = func(a any) { fn(a.(*packet.Packet)) }
+}
 
 // classify picks the receive queue for a packet: ntuple rules first, then
 // RSS on the 5-tuple. Hardware does this work, so no CPU cost is charged;
@@ -259,14 +284,16 @@ func (n *NIC) LinkUp() bool { return !n.linkDown }
 func (n *NIC) Receive(p *packet.Packet) bool {
 	if n.linkDown {
 		n.LinkDownRx++
+		p.Release()
 		return false
 	}
 	if n.Offloads.RxCsum {
 		p.Offloads |= packet.CsumVerified
 	}
 	q := n.classify(p)
-	if len(q.ring) >= q.depth {
+	if q.Len() >= q.depth {
 		q.RxDrops++
+		p.Release()
 		return false
 	}
 	q.ring = append(q.ring, p)
@@ -360,6 +387,7 @@ func (n *NIC) DriverReceive(q *Queue, max int, cpu *sim.CPU, v DriverVerdicts) (
 func (n *NIC) Transmit(p *packet.Packet) {
 	if n.linkDown {
 		n.LinkDownTx++
+		p.Release()
 		return
 	}
 	if p.Offloads&packet.CsumPartial != 0 && n.Offloads.TxCsum {
@@ -386,10 +414,10 @@ func (n *NIC) transmitFrame(p *packet.Packet) {
 	}
 	n.txFreeAt = start + ser
 	if n.wire == nil {
+		p.Release()
 		return
 	}
-	wire := n.wire
-	n.eng.ScheduleAt(n.txFreeAt+costmodel.WireAndNIC, func() { wire(p) })
+	n.eng.ScheduleArgAt(n.txFreeAt+costmodel.WireAndNIC, n.wireArg, p)
 }
 
 // segment splits a TSO packet into SegSize-sized frames. Header bytes

@@ -256,6 +256,30 @@ func (p *Pool) Get(buf []byte) *Packet {
 	return pkt
 }
 
+// GetCopy acquires a packet whose Data is always a private copy of buf,
+// including on the heap-fallback path. Use it when buf is owned by the
+// caller and reused afterwards (a umem chunk about to be recycled, a
+// generator's frame template) — plain Get would alias it.
+func (p *Pool) GetCopy(buf []byte) *Packet {
+	if p.Preallocated && len(p.free) > 0 {
+		pkt := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		pkt.inFree = false
+		pkt.ResetMetadata()
+		if cap(pkt.Data) >= len(buf) {
+			pkt.Data = pkt.Data[:len(buf)]
+		} else {
+			pkt.Data = make([]byte, len(buf))
+		}
+		copy(pkt.Data, buf)
+		return pkt
+	}
+	p.Allocs++
+	pkt := New(append(make([]byte, 0, len(buf)), buf...))
+	pkt.pool = p
+	return pkt
+}
+
 // put returns a packet to the free list (only pool-backed packets;
 // heap-allocated overflow packets are left for the GC).
 func (p *Pool) put(pkt *Packet) {

@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -51,44 +50,26 @@ func (t Time) String() string {
 	}
 }
 
-// event is a scheduled callback.
-type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among events with equal timestamps
-	fn  func()
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-
-// Engine is a discrete-event simulator with a virtual clock.
+// Engine is a discrete-event simulator with a virtual clock. Events live in
+// a slab-backed hierarchical timer wheel (see wheel.go); scheduling and
+// dispatch allocate nothing in steady state.
 //
 // An Engine also owns the simulation's CPUs and its deterministic random
 // number generator, so that a single seed fully determines an experiment.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	stopped bool
-	cpus    []*CPU
-	rng     *Rand
+	now      Time
+	seq      uint64
+	q        *evQueue
+	executed uint64
+	stopped  bool
+	cpus     []*CPU
+	rng      *Rand
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
 // stream is derived from seed.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: NewRand(seed)}
+	return &Engine{q: newEvQueue(), rng: NewRand(seed)}
 }
 
 // Now returns the current virtual time.
@@ -108,20 +89,78 @@ func (e *Engine) Schedule(d Time, fn func()) {
 // ScheduleAt runs fn at absolute virtual time t. Scheduling in the past is an
 // error in the simulation logic and panics to surface the bug immediately.
 func (e *Engine) ScheduleAt(t Time, fn func()) {
+	idx := e.newRecord(t)
+	e.q.slab[idx].fn = fn
+	e.q.insert(idx)
+}
+
+// ScheduleArg runs fn(arg) after delay d. Unlike Schedule with a capturing
+// closure, the callback is a pre-bound function plus a pointer-sized
+// argument, so hot paths (per-packet wire delivery) schedule without
+// allocating. A negative delay is treated as zero.
+func (e *Engine) ScheduleArg(d Time, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.ScheduleArgAt(e.now+d, fn, arg)
+}
+
+// ScheduleArgAt runs fn(arg) at absolute virtual time t.
+func (e *Engine) ScheduleArgAt(t Time, fn func(any), arg any) {
+	idx := e.newRecord(t)
+	e.q.slab[idx].argFn = fn
+	e.q.slab[idx].arg = arg
+	e.q.insert(idx)
+}
+
+// newRecord validates t, draws a sequence number, and returns a fresh slab
+// record with (at, seq) filled in. Every schedule variant draws exactly one
+// sequence number, which is what keeps same-seed runs byte-identical across
+// queue implementations.
+func (e *Engine) newRecord(t Time) int32 {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	idx := e.q.alloc()
+	r := &e.q.slab[idx]
+	r.at = t
+	r.seq = e.seq
+	return idx
+}
+
+// dispatch runs the record at idx: it advances the clock, frees the record
+// before invoking the callback (so the callback can rearm or reuse it), and
+// disarms any owning Timer.
+func (e *Engine) dispatch(idx int32) {
+	r := &e.q.slab[idx]
+	at := r.at
+	fn := r.fn
+	argFn := r.argFn
+	arg := r.arg
+	if r.timer != nil {
+		r.timer.idx = -1
+	}
+	e.q.freeRec(idx)
+	e.q.live--
+	e.now = at
+	e.executed++
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
 }
 
 // Run executes events until none remain or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.at
-		ev.fn()
+	for !e.stopped {
+		idx := e.q.next()
+		if idx < 0 {
+			return
+		}
+		e.dispatch(idx)
 	}
 }
 
@@ -129,13 +168,12 @@ func (e *Engine) Run() {
 // exactly t. Events scheduled beyond t remain pending.
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		if e.events[0].at > t {
+	for !e.stopped {
+		at, ok := e.q.peek()
+		if !ok || at > t {
 			break
 		}
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.at
-		ev.fn()
+		e.dispatch(e.q.next())
 	}
 	if e.now < t {
 		e.now = t
@@ -146,8 +184,13 @@ func (e *Engine) RunUntil(t Time) {
 // events are retained and a subsequent Run resumes them.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending reports the number of events waiting to run.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports the number of events waiting to run (cancelled timers
+// excluded).
+func (e *Engine) Pending() int { return e.q.live }
+
+// Executed reports the total number of events run so far (simulator
+// throughput accounting for the simspeed benchmark).
+func (e *Engine) Executed() uint64 { return e.executed }
 
 // NewCPU allocates a simulated CPU (one hardware hyperthread) and registers
 // it with the engine for utilization reporting.

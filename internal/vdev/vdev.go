@@ -30,6 +30,12 @@ type Queue struct {
 	wakeFn    func()
 	wakeArmed bool
 
+	// head is the consume index into items; scratch is the reusable
+	// slice Pop returns (consumed synchronously by the single-threaded
+	// simulation, never retained across events).
+	head    int
+	scratch []*packet.Packet
+
 	// Gate, when set and returning true, refuses the push (fault
 	// injection: a detached backend or downed device).
 	Gate func() bool
@@ -50,7 +56,7 @@ func NewQueue(name string, depth int) *Queue {
 }
 
 // Len returns the number of queued packets.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return len(q.items) - q.head }
 
 // Cap returns the queue depth.
 func (q *Queue) Cap() int { return q.depth }
@@ -62,11 +68,11 @@ func (q *Queue) Push(p *packet.Packet) bool {
 		q.GateDrops++
 		return false
 	}
-	if len(q.items) >= q.depth {
+	if q.Len() >= q.depth {
 		q.Dropped++
 		return false
 	}
-	wasEmpty := len(q.items) == 0
+	wasEmpty := q.Len() == 0
 	q.items = append(q.items, p)
 	q.Enqueued++
 	if wasEmpty && q.wakeArmed && q.wakeFn != nil {
@@ -76,15 +82,26 @@ func (q *Queue) Push(p *packet.Packet) bool {
 	return true
 }
 
-// Pop dequeues up to max packets.
+// Pop dequeues up to max packets. The returned slice is reused by the next
+// Pop; callers must finish with it before yielding to the engine.
 func (q *Queue) Pop(max int) []*packet.Packet {
 	n := max
-	if n > len(q.items) {
-		n = len(q.items)
+	if avail := q.Len(); n > avail {
+		n = avail
 	}
-	out := q.items[:n:n]
-	q.items = append([]*packet.Packet(nil), q.items[n:]...)
-	return out
+	if n == 0 {
+		return nil
+	}
+	q.scratch = append(q.scratch[:0], q.items[q.head:q.head+n]...)
+	for i := q.head; i < q.head+n; i++ {
+		q.items[i] = nil
+	}
+	q.head += n
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return q.scratch
 }
 
 // SetWakeup installs the wakeup callback.
@@ -93,7 +110,7 @@ func (q *Queue) SetWakeup(fn func()) { q.wakeFn = fn }
 // ArmWakeup requests a callback at the next empty-to-nonempty transition;
 // if packets are already waiting the callback fires immediately.
 func (q *Queue) ArmWakeup() {
-	if len(q.items) > 0 && q.wakeFn != nil {
+	if q.Len() > 0 && q.wakeFn != nil {
 		q.wakeFn()
 		return
 	}
@@ -102,7 +119,7 @@ func (q *Queue) ArmWakeup() {
 
 // String summarizes occupancy.
 func (q *Queue) String() string {
-	return fmt.Sprintf("%s{%d/%d, drop=%d}", q.Name, len(q.items), q.depth, q.Dropped)
+	return fmt.Sprintf("%s{%d/%d, drop=%d}", q.Name, q.Len(), q.depth, q.Dropped)
 }
 
 // Tap is the kernel tap device of Section 3.3 path A: userspace writes

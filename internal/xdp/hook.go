@@ -67,6 +67,10 @@ type Hook struct {
 	mode     Mode
 	global   *ebpf.Program
 	perQueue map[int]*ebpf.Program
+
+	// ctx is reused across Run calls; Program.Run does not retain it, so a
+	// single context per hook avoids a per-packet allocation.
+	ctx ebpf.Context
 }
 
 // NewHook returns a hook with the given attachment model and mode.
@@ -141,7 +145,9 @@ func (h *Hook) Run(queue int, pkt []byte, ifindex uint32) (ebpf.Result, sim.Time
 	if prog == nil {
 		return ebpf.Result{Action: ebpf.XDPPass}, 0, nil
 	}
-	res, err := prog.Run(&ebpf.Context{Packet: pkt, IngressIface: ifindex, RxQueue: uint32(queue)})
+	h.ctx = ebpf.Context{Packet: pkt, IngressIface: ifindex, RxQueue: uint32(queue)}
+	res, err := prog.Run(&h.ctx)
+	h.ctx.Packet = nil // do not pin the frame past the run
 	if err != nil {
 		return res, 0, err
 	}
