@@ -35,6 +35,8 @@ func main() {
 	simspeedOut := flag.String("simspeed-out", "BENCH_simspeed.json", "where -scenario simspeed writes its JSON result")
 	simspeedBaseline := flag.String("simspeed-baseline", "", "compare the simspeed run against this committed JSON; exit nonzero on >20% regression")
 	simspeedPoints := flag.String("simspeed-points", "", "comma-separated simspeed points to run (default: all)")
+	churnscaleOut := flag.String("churnscale-out", "BENCH_churnscale.json", "where -scenario churnscale writes its JSON result")
+	churnscalePoints := flag.String("churnscale-points", "", "comma-separated churnscale points to run (default: all)")
 	flag.Func("o", "other_config key=value applied to every bed (repeatable, e.g. -o pmd-rxq-assign=cycles)", func(s string) error {
 		for i := 1; i < len(s); i++ {
 			if s[i] == '=' {
@@ -109,6 +111,15 @@ func main() {
 				}
 			}
 		}
+		if s.ID == "churnscale" {
+			experiments.ChurnscaleJSONPath = *churnscaleOut
+			if *churnscalePoints != "" {
+				experiments.ChurnscaleOnly = map[string]bool{}
+				for _, p := range strings.Split(*churnscalePoints, ",") {
+					experiments.ChurnscaleOnly[strings.TrimSpace(p)] = true
+				}
+			}
+		}
 		start := time.Now()
 		rep := s.Run(profile)
 		fmt.Print(rep)
@@ -178,10 +189,11 @@ usage:
   ovsbench [-quick] [-perf] [-smc] [-emc-prob N] [-o key=value]... list | all | <experiment>...
   ovsbench [-quick] [-cpuprofile f] [-memprofile f] -scenario <scenario>
   ovsbench [-quick] -scenario simspeed [-simspeed-out f] [-simspeed-baseline f] [-simspeed-points a,b]
+  ovsbench [-quick] -scenario churnscale [-churnscale-out f] [-churnscale-points a,b]
 
 experiments: fig1 fig2 fig8a fig8b fig8c fig9a fig9b fig9c fig10 fig11 fig12
              table1 table2 table3 table4 table5
-scenarios:   restart cachesweep corescale simspeed
+scenarios:   restart cachesweep churnscale corescale simspeed
 `)
 	flag.PrintDefaults()
 }

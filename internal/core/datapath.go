@@ -162,6 +162,12 @@ type Datapath struct {
 	// handler (dpif upcall registration).
 	upcall func(flow.Key) (ofproto.Megaflow, error)
 
+	// flowHook, when set, is called for every freshly installed megaflow
+	// on any PMD (upcall installs, FlowPut, negative flows) — the
+	// notification the incremental revalidator registers expiry timers
+	// from. In-place replacements do not re-fire it.
+	flowHook func(*PMD, *dpcls.Entry)
+
 	// handler is the shared upcall-handler thread CPU, created lazily when
 	// the bounded upcall queue is in force.
 	handler *sim.CPU
@@ -281,6 +287,27 @@ func (d *Datapath) EnableTrace(n int) {
 // in place of the pipeline's translator (dpif upcall registration).
 func (d *Datapath) SetUpcall(fn func(flow.Key) (ofproto.Megaflow, error)) { d.upcall = fn }
 
+// SetFlowHook registers (or, with nil, clears) the flow-installed
+// notification, wiring it through every PMD classifier's OnInsert callback
+// — existing threads and ones created later alike.
+func (d *Datapath) SetFlowHook(fn func(*PMD, *dpcls.Entry)) {
+	d.flowHook = fn
+	for _, m := range d.pmds {
+		if fn == nil {
+			m.cls.OnInsert = nil
+		} else {
+			d.wireFlowHook(m)
+		}
+	}
+}
+
+// wireFlowHook binds one PMD's classifier insert callback to the datapath
+// hook. The closure is created once per PMD at wiring time, so the install
+// path itself allocates nothing.
+func (d *Datapath) wireFlowHook(m *PMD) {
+	m.cls.OnInsert = func(e *dpcls.Entry) { d.flowHook(m, e) }
+}
+
 // translate resolves a missed key through the registered upcall handler,
 // defaulting to the pipeline.
 func (d *Datapath) translate(key flow.Key) (ofproto.Megaflow, error) {
@@ -335,7 +362,7 @@ func (d *Datapath) installNegativeFlow(m *PMD, key flow.Key) {
 	e := m.cls.Insert(key, flow.MaskAll(), nil)
 	d.Eng.Schedule(ttl, func() {
 		if m.cls.Remove(e) {
-			m.FlushEMC()
+			m.InvalidateEMC(e)
 			m.InvalidateSMC(e)
 		}
 	})
@@ -482,6 +509,10 @@ func (d *Datapath) lookupHierarchy(m *PMD, key flow.Key) *dpcls.Entry {
 			if m.emc.Len() > d.Opts.ColdFlowThreshold {
 				m.charge(perf.StageEMC, costmodel.ColdFlowCacheMiss)
 			}
+			// An EMC hit is activity on the underlying megaflow: count it
+			// there too (as the SMC path does), or the revalidator sees
+			// EMC-resident flows as idle and evicts live flows.
+			e.Hits++
 			d.EMCHits++
 			m.Perf.EMCHits++
 			m.lastLevel = perf.ResultEMC

@@ -143,6 +143,10 @@ func (d *Datapath) NewPMD(mode Mode, cpu *sim.CPU) *PMD {
 		Perf:    perf.NewStats(),
 		insRand: sim.NewRand(0x51c0ffee ^ uint64(id)<<20),
 	}
+	m.emc.SetAliveCheck(entryAlive)
+	if d.flowHook != nil {
+		d.wireFlowHook(m)
+	}
 	m.iterTimer = d.Eng.NewTimer(m.iterate)
 	m.upcallTimer = d.Eng.NewTimer(m.serviceUpcall)
 	if d.Opts.SMC {
@@ -206,9 +210,25 @@ func (m *PMD) SMCStats() (hits, misses uint64) {
 // Classifier exposes the megaflow classifier (tests, flow dumping).
 func (m *PMD) Classifier() *dpcls.Classifier { return m.cls }
 
-// FlushEMC drops the thread's exact-match cache; stale entries rebuild from
-// the classifier on the next packets (megaflow eviction).
+// entryAlive is the EMC's liveness predicate: a megaflow removed from the
+// classifier is marked dead, and its cache entries purge lazily on their
+// next lookup (emc_entry_alive). A package-level function, so every PMD
+// shares one value and wiring it allocates nothing.
+func entryAlive(e *dpcls.Entry) bool { return !e.Dead() }
+
+// FlushEMC drops the thread's exact-match cache wholesale. This is the
+// flow-table-wide reset (FlowFlush, daemon restart); single-megaflow
+// deletion uses InvalidateEMC instead, which leaves unrelated cache
+// entries untouched.
 func (m *PMD) FlushEMC() { m.emc.Flush() }
+
+// InvalidateEMC unlinks a removed megaflow from the exact-match cache —
+// the EMC counterpart of InvalidateSMC. A megaflow covers arbitrarily many
+// exact keys, so its EMC entries cannot be found by key; instead the entry
+// is marked dead and the cache's alive check purges each stale slot on its
+// next lookup, O(1) per delete instead of O(cache) — the fix for the
+// churn-collapsing full flush FlowDel used to do.
+func (m *PMD) InvalidateEMC(e *dpcls.Entry) { e.MarkDead() }
 
 // InvalidateSMC unlinks a removed megaflow from the signature cache's
 // indirection table (megaflow delete, revalidator sweep, negative-flow

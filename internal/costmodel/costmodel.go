@@ -405,6 +405,18 @@ const (
 	// the failing flow drop in the fast path instead of re-upcalling at
 	// full cost.
 	NegativeFlowTTL sim.Time = 10 * sim.Millisecond
+
+	// RevalFlowCheck is one revalidator liveness check of a single
+	// megaflow: read its stats, compare against the last observation,
+	// decide keep/evict — the per-flow unit of ovs-vswitchd's revalidator
+	// threads, charged to the dedicated revalidator CPU so experiments can
+	// report a revalidator duty cycle.
+	RevalFlowCheck sim.Time = 90
+
+	// RevalFlowEvict is the additional cost of evicting one idle megaflow
+	// (the flow_del round trip and cache invalidation bookkeeping), on top
+	// of the check that condemned it.
+	RevalFlowEvict sim.Time = 350
 )
 
 // ---------------------------------------------------------------------------

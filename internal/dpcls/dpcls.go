@@ -32,7 +32,21 @@ type Entry struct {
 
 	// Hits counts packets matched, for revalidator heuristics.
 	Hits uint64
+
+	// dead marks an entry no longer installed in any classifier. Caches
+	// that hold *Entry pointers (the EMC) consult it lazily on lookup
+	// instead of being scanned eagerly on every delete — OVS's
+	// emc_entry_alive discipline. Remove and Flush set it; an entry is
+	// never resurrected (replacement updates the live entry in place, so
+	// a dead pointer stays dead forever).
+	dead bool
 }
+
+// MarkDead marks the entry as removed from the datapath. Idempotent.
+func (e *Entry) MarkDead() { e.dead = true }
+
+// Dead reports whether the entry has been removed from the datapath.
+func (e *Entry) Dead() bool { return e.dead }
 
 // String summarizes the entry.
 func (e *Entry) String() string {
@@ -63,6 +77,12 @@ type Classifier struct {
 	SubtableProbes uint64
 	// resort counts down to the next usage-based reordering.
 	resort int
+
+	// OnInsert, when set, is called for every freshly allocated entry —
+	// not for in-place replacements, whose pointer the caller already
+	// holds. It is the flow-installed notification the incremental
+	// (wheel-based) revalidator registers expiry timers from.
+	OnInsert func(*Entry)
 }
 
 // New returns an empty classifier.
@@ -113,7 +133,10 @@ func (c *Classifier) maybeResort() {
 
 // Insert installs a megaflow for key under mask with the given actions and
 // returns the entry. Inserting a key that matches an existing entry of the
-// same mask replaces it.
+// same mask replaces its actions in place: the existing *Entry (which the
+// EMC and SMC may still point to) keeps its identity and hit count, so
+// cached hits execute the new actions immediately instead of forwarding
+// with the stale ones a freshly allocated entry would leave behind.
 func (c *Classifier) Insert(key flow.Key, mask flow.Mask, actions any) *Entry {
 	st := c.findSubtable(mask)
 	if st == nil {
@@ -122,11 +145,16 @@ func (c *Classifier) Insert(key flow.Key, mask flow.Mask, actions any) *Entry {
 		c.byMask[mask] = st
 	}
 	masked := key.Apply(mask)
-	if _, existed := st.entries[masked]; !existed {
-		c.count++
+	if e, existed := st.entries[masked]; existed {
+		e.Actions = actions
+		return e
 	}
+	c.count++
 	e := &Entry{Mask: mask, MaskedKey: masked, Actions: actions}
 	st.entries[masked] = e
+	if c.OnInsert != nil {
+		c.OnInsert(e)
+	}
 	return e
 }
 
@@ -141,6 +169,7 @@ func (c *Classifier) Remove(e *Entry) bool {
 		return false
 	}
 	delete(st.entries, e.MaskedKey)
+	e.MarkDead()
 	c.count--
 	if len(st.entries) == 0 {
 		c.dropSubtable(st)
@@ -148,11 +177,22 @@ func (c *Classifier) Remove(e *Entry) bool {
 	return true
 }
 
-// Flush removes every megaflow.
+// Flush removes every megaflow (marking each dead for the pointer caches)
+// and resets the lookup statistics and the resort countdown, so a reused
+// classifier starts from the same state a fresh one would — AvgProbes and
+// the cost model are not skewed by a previous table's history.
 func (c *Classifier) Flush() {
+	for _, st := range c.subtables {
+		for _, e := range st.entries {
+			e.MarkDead()
+		}
+	}
 	c.subtables = nil
 	c.byMask = make(map[flow.Mask]*subtable)
 	c.count = 0
+	c.Lookups = 0
+	c.SubtableProbes = 0
+	c.resort = resortInterval
 }
 
 // Len returns the number of installed megaflows.
@@ -164,13 +204,20 @@ func (c *Classifier) Subtables() int { return len(c.subtables) }
 // Entries returns all installed megaflows (for the revalidator); order is
 // unspecified.
 func (c *Classifier) Entries() []*Entry {
-	out := make([]*Entry, 0, c.count)
+	return c.EntriesInto(make([]*Entry, 0, c.count))
+}
+
+// EntriesInto appends all installed megaflows into buf (truncated first)
+// and returns it — the allocation-free dump the revalidator reuses its
+// buffer across sweeps with. Order is unspecified.
+func (c *Classifier) EntriesInto(buf []*Entry) []*Entry {
+	buf = buf[:0]
 	for _, st := range c.subtables {
 		for _, e := range st.entries {
-			out = append(out, e)
+			buf = append(buf, e)
 		}
 	}
-	return out
+	return buf
 }
 
 // AvgProbes returns the mean subtables probed per lookup, the quantity the

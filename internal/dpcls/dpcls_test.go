@@ -88,15 +88,70 @@ func TestRemove(t *testing.T) {
 	if c.Remove(e) {
 		t.Fatal("double remove must report false")
 	}
-	// Removing a stale entry (same key reinstalled) must not remove the
-	// new one.
+	// Reinserting the same masked key updates the entry in place: the
+	// caches' pointer stays valid and carries the new actions, so there is
+	// no stale pointer to mis-remove.
 	e1 := c.Insert(keyFor(hdr.MakeIP4(1, 1, 1, 1), 80), mask, "a")
 	e2 := c.Insert(keyFor(hdr.MakeIP4(1, 1, 1, 1), 80), mask, "b")
-	if c.Remove(e1) {
-		t.Fatal("stale remove must fail")
+	if e1 != e2 {
+		t.Fatal("replacement must update the existing entry in place")
 	}
-	if !c.Remove(e2) {
-		t.Fatal("current remove must succeed")
+	if e1.Actions != "b" {
+		t.Fatalf("replaced actions = %v, want b", e1.Actions)
+	}
+	if !c.Remove(e1) {
+		t.Fatal("remove of replaced entry must succeed")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after remove", c.Len())
+	}
+}
+
+// TestRemoveMarksDead covers the lazy cache-invalidation contract: an entry
+// leaves the classifier dead (Remove, Flush), and stays alive through an
+// in-place replacement — the caches use Dead() to decide whether a held
+// pointer is still valid.
+func TestRemoveMarksDead(t *testing.T) {
+	c := New(0)
+	mask := flow.NewMaskBuilder().EthType().TPDst().Build()
+	e := c.Insert(keyFor(hdr.MakeIP4(1, 1, 1, 1), 80), mask, "x")
+	if e.Dead() {
+		t.Fatal("fresh entry must be alive")
+	}
+	c.Insert(keyFor(hdr.MakeIP4(1, 1, 1, 1), 80), mask, "y")
+	if e.Dead() {
+		t.Fatal("in-place replacement must keep the entry alive")
+	}
+	c.Remove(e)
+	if !e.Dead() {
+		t.Fatal("removed entry must be dead")
+	}
+	e2 := c.Insert(keyFor(hdr.MakeIP4(2, 2, 2, 2), 443), mask, "z")
+	c.Flush()
+	if !e2.Dead() {
+		t.Fatal("flushed entry must be dead")
+	}
+}
+
+// TestFlushResetsProbeStats: Flush starts a fresh classifier lifetime, so
+// the lookup/probe counters and the resort countdown reset with it.
+func TestFlushResetsProbeStats(t *testing.T) {
+	c := New(0)
+	mask := flow.NewMaskBuilder().EthType().TPDst().Build()
+	k := keyFor(hdr.MakeIP4(1, 1, 1, 1), 80)
+	c.Insert(k, mask, "x")
+	for i := 0; i < 10; i++ {
+		c.Lookup(k)
+	}
+	if c.Lookups == 0 || c.SubtableProbes == 0 {
+		t.Fatal("expected non-zero probe stats before flush")
+	}
+	c.Flush()
+	if c.Lookups != 0 || c.SubtableProbes != 0 {
+		t.Fatalf("flush left Lookups=%d SubtableProbes=%d", c.Lookups, c.SubtableProbes)
+	}
+	if c.AvgProbes() != 0 {
+		t.Fatalf("AvgProbes after flush = %v", c.AvgProbes())
 	}
 }
 

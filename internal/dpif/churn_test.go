@@ -1,0 +1,287 @@
+package dpif
+
+// Regression tests for megaflow churn: targeted cache invalidation on
+// FlowDel (one delete must not flush unrelated EMC entries), in-place
+// replacement (a replaced flow's new actions must take effect on the next
+// cached hit), the install/evict conservation ledger under the wheel
+// revalidator, and the zero-allocation bound on an idle revalidator sweep.
+
+import (
+	"testing"
+
+	"ovsxdp/internal/flow"
+	"ovsxdp/internal/ofproto"
+	"ovsxdp/internal/packet"
+	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/sim"
+)
+
+// churnPacket builds a UDP packet from srcIP to a fixed destination, with
+// dstPort selecting the pipeline rule it matches.
+func churnPacket(srcIP hdr.IP4, dstPort uint16) *packet.Packet {
+	frame := hdr.NewBuilder().
+		Eth(hdr.MAC{0x02, 0xaa, 0, 0, 0, 1}, hdr.MAC{0x02, 0xbb, 0, 0, 0, 1}).
+		IPv4H(srcIP, hdr.MakeIP4(10, 0, 0, 2), 64).
+		UDPH(1000, dstPort).PadTo(64).Build()
+	p := packet.New(frame)
+	p.InPort = 1
+	return p
+}
+
+// churnUpcall is a slow path that mints one exact-ish megaflow per
+// five-tuple, so every distinct source IP installs a distinct flow.
+func churnUpcall(outPort uint32) UpcallFunc {
+	mask := flow.NewMaskBuilder().InPort().EthType().IPProto().
+		IP4Src(32).IP4Dst(32).TPSrc().TPDst().Build()
+	return func(key flow.Key) (ofproto.Megaflow, error) {
+		return ofproto.Megaflow{Mask: mask,
+			Actions: []ofproto.DPAction{{Type: ofproto.DPOutput, Port: outPort}}}, nil
+	}
+}
+
+// TestFlowDelPreservesUnrelatedEMCEntries is the headline bugfix
+// regression: deleting one megaflow historically flushed the entire EMC,
+// so every delete under churn cost every other flow its fast-path hit.
+// Deleting flow B must leave flow A's EMC entry hitting.
+func TestFlowDelPreservesUnrelatedEMCEntries(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d, err := Open("netdev", Config{Eng: eng, Pipeline: revalPipeline()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := d.PortAdd(TxPort{PortID: 2, PortName: "p2",
+		Deliver: func(*packet.Packet) {}}); err != nil {
+		t.Fatalf("PortAdd: %v", err)
+	}
+	d.SetUpcall(churnUpcall(2))
+	nd := d.(*Netdev)
+
+	pktA := func() *packet.Packet { return churnPacket(hdr.MakeIP4(10, 0, 0, 1), 2000) }
+	pktB := func() *packet.Packet { return churnPacket(hdr.MakeIP4(10, 0, 0, 7), 2000) }
+
+	d.Execute(pktA()) // miss: installs A's megaflow and EMC entry
+	d.Execute(pktB()) // miss: installs B's megaflow and EMC entry
+	d.Execute(pktA())
+	d.Execute(pktB())
+	if nd.dp.EMCHits != 2 {
+		t.Fatalf("warmup EMC hits = %d, want 2", nd.dp.EMCHits)
+	}
+
+	// Delete B's megaflow (the one with zero... both have 1 hit; find B by
+	// re-looking: B is whichever entry the second dump position holds is
+	// not stable, so delete by matching the masked source IP).
+	flows := d.FlowDump()
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d, want 2", len(flows))
+	}
+	kB := flow.Extract(pktB())
+	deleted := false
+	for _, f := range flows {
+		if f.Entry.MaskedKey == kB.Apply(f.Entry.Mask) {
+			if !d.FlowDel(f) {
+				t.Fatal("FlowDel(B) failed")
+			}
+			deleted = true
+		}
+	}
+	if !deleted {
+		t.Fatal("did not find B's megaflow in the dump")
+	}
+
+	// A's EMC entry must have survived the delete.
+	d.Execute(pktA())
+	if nd.dp.EMCHits != 3 {
+		t.Errorf("EMC hits after unrelated delete = %d, want 3 (A's entry was evicted)", nd.dp.EMCHits)
+	}
+	// B's entry is dead: its next packet must miss the caches and upcall.
+	upcallsBefore := nd.dp.Upcalls
+	d.Execute(pktB())
+	if nd.dp.Upcalls != upcallsBefore+1 {
+		t.Errorf("deleted flow's packet did not upcall (upcalls %d -> %d)",
+			upcallsBefore, nd.dp.Upcalls)
+	}
+}
+
+// TestFlowPutReplacementUpdatesCachedActions: replacing a megaflow's
+// actions via FlowPut must take effect on the very next cached (EMC) hit.
+// Before the in-place-replacement fix, Insert allocated a fresh entry while
+// the EMC kept the old pointer, so cached packets kept executing the old
+// actions until the entry aged out.
+func TestFlowPutReplacementUpdatesCachedActions(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var got2, got3 int
+	d, err := Open("netdev", Config{Eng: eng, Pipeline: revalPipeline()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, p := range []struct {
+		id    uint32
+		count *int
+	}{{2, &got2}, {3, &got3}} {
+		count := p.count
+		if err := d.PortAdd(TxPort{PortID: p.id, PortName: "p",
+			Deliver: func(*packet.Packet) { *count++ }}); err != nil {
+			t.Fatalf("PortAdd: %v", err)
+		}
+	}
+	d.SetUpcall(churnUpcall(2))
+	nd := d.(*Netdev)
+
+	pkt := func() *packet.Packet { return churnPacket(hdr.MakeIP4(10, 9, 9, 9), 2000) }
+	d.Execute(pkt()) // miss: install, actions -> port 2
+	d.Execute(pkt()) // EMC hit -> port 2
+	if got2 != 2 || got3 != 0 {
+		t.Fatalf("warmup delivery = p2:%d p3:%d, want 2/0", got2, got3)
+	}
+
+	// Replace the flow's actions with output to port 3, same key and mask.
+	flows := d.FlowDump()
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(flows))
+	}
+	e := flows[0].Entry
+	d.FlowPut(e.MaskedKey, e.Mask,
+		[]ofproto.DPAction{{Type: ofproto.DPOutput, Port: 3}})
+
+	emcBefore := nd.dp.EMCHits
+	d.Execute(pkt())
+	if nd.dp.EMCHits != emcBefore+1 {
+		t.Fatalf("replacement evicted the EMC entry (hits %d -> %d); want a cached hit with new actions",
+			emcBefore, nd.dp.EMCHits)
+	}
+	if got3 != 1 || got2 != 2 {
+		t.Errorf("post-replacement delivery = p2:%d p3:%d, want p2:2 p3:1 (cached hit ran stale actions)",
+			got2, got3)
+	}
+}
+
+// TestWheelRevalidatorConservationLedger checks, on every provider, that
+// flows are conserved under install/expiry churn: every install the flow
+// hook reported is eventually either evicted by the wheel revalidator or
+// still live, and after a full drain nothing is live and nothing leaked.
+func TestWheelRevalidatorConservationLedger(t *testing.T) {
+	const nFlows = 50
+	for _, name := range Types() {
+		t.Run(name, func(t *testing.T) {
+			eng := sim.NewEngine(1)
+			d, err := Open(name, Config{Eng: eng, Pipeline: revalPipeline()})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if err := d.PortAdd(TxPort{PortID: 2, PortName: "p2",
+				Deliver: func(*packet.Packet) {}}); err != nil {
+				t.Fatalf("PortAdd: %v", err)
+			}
+			d.SetUpcall(churnUpcall(2))
+
+			r := StartWheelRevalidator(eng, d, 2*sim.Millisecond)
+			for i := 0; i < nFlows; i++ {
+				d.Execute(churnPacket(hdr.MakeIP4(10, 0, byte(i), 1), 2000))
+			}
+			if r.Installs != nFlows {
+				t.Fatalf("Installs = %d, want %d (flow hook missed installs)", r.Installs, nFlows)
+			}
+			live := len(d.FlowDump())
+			if live != nFlows {
+				t.Fatalf("live flows = %d, want %d", live, nFlows)
+			}
+			if r.Installs != r.Evicted+uint64(live) {
+				t.Fatalf("mid-run ledger broken: installs %d != evicted %d + live %d",
+					r.Installs, r.Evicted, live)
+			}
+
+			// All flows idle: one timeout later everything must be drained.
+			eng.RunUntil(10 * sim.Millisecond)
+			if got := len(d.FlowDump()); got != 0 {
+				t.Errorf("drain incomplete: %d flows live", got)
+			}
+			if r.Evicted != nFlows {
+				t.Errorf("Evicted = %d, want %d", r.Evicted, nFlows)
+			}
+			if r.Installs != r.Evicted {
+				t.Errorf("final ledger broken: installs %d != evicted %d", r.Installs, r.Evicted)
+			}
+			if r.CPU.BusyTotal() == 0 {
+				t.Error("revalidator CPU consumed no time (duty cycle unmeasurable)")
+			}
+		})
+	}
+}
+
+// TestWheelRevalidatorKeepsActiveFlows: a flow that keeps hitting is
+// re-armed, not evicted; its deadline work is bounded per timeout, not per
+// packet.
+func TestWheelRevalidatorKeepsActiveFlows(t *testing.T) {
+	eng, d := revalDpif(t, "netlink")
+	r := StartWheelRevalidator(eng, d, 2*sim.Millisecond)
+	var tick func()
+	tick = func() {
+		d.Execute(revalPacket())
+		eng.Schedule(sim.Millisecond, tick)
+	}
+	eng.Schedule(0, tick)
+	eng.RunUntil(20 * sim.Millisecond)
+	if got := len(d.FlowDump()); got != 1 {
+		t.Fatalf("flows = %d, want 1", got)
+	}
+	if r.Evicted != 0 {
+		t.Errorf("active flow evicted %d times", r.Evicted)
+	}
+	if r.Rearms == 0 {
+		t.Error("active flow never re-armed")
+	}
+
+	// A stopped revalidator never touches the datapath again, and stopping
+	// twice is harmless. (Idle eviction itself is covered by the
+	// conservation ledger test.)
+	r.Stop()
+	if r.Running() {
+		t.Error("Running() after Stop")
+	}
+	r.Stop() // idempotent
+	flowsAt := len(d.FlowDump())
+	eng.RunUntil(60 * sim.Millisecond)
+	if got := len(d.FlowDump()); got != flowsAt {
+		t.Errorf("stopped revalidator changed the datapath: %d -> %d flows", flowsAt, got)
+	}
+}
+
+// TestRevalidatorIdleSweepZeroAlloc: a sweep over a warm table that evicts
+// nothing must not allocate — the dump buffer, tracking map, and timer
+// rearm are all reused. This is the bound that makes large-table sweeps a
+// CPU cost, not a GC cost.
+func TestRevalidatorIdleSweepZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d, err := Open("netdev", Config{Eng: eng, Pipeline: revalPipeline()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := d.PortAdd(TxPort{PortID: 2, PortName: "p2",
+		Deliver: func(*packet.Packet) {}}); err != nil {
+		t.Fatalf("PortAdd: %v", err)
+	}
+	d.SetUpcall(churnUpcall(2))
+	for i := 0; i < 200; i++ {
+		d.Execute(churnPacket(hdr.MakeIP4(10, 1, byte(i), 1), 2000))
+	}
+
+	interval := sim.Millisecond
+	r := StartRevalidator(eng, d, interval, 1<<30) // never evicts
+	// Warm: several sweeps populate the tracking map and dump buffer.
+	now := 5 * interval
+	eng.RunUntil(now)
+	if r.Sweeps < 5 {
+		t.Fatalf("warmup sweeps = %d", r.Sweeps)
+	}
+
+	avg := testing.AllocsPerRun(50, func() {
+		now += interval
+		eng.RunUntil(now)
+	})
+	if avg != 0 {
+		t.Errorf("idle sweep allocates: %.2f allocs/sweep (want 0)", avg)
+	}
+	if got := len(d.FlowDump()); got != 200 {
+		t.Errorf("idle sweeps changed the table: %d flows", got)
+	}
+}

@@ -116,9 +116,21 @@ type Dpif interface {
 	// FlowDump snapshots the installed megaflows across all classifier
 	// shards.
 	FlowDump() []Flow
+	// FlowDumpInto is the allocation-free dump: buf is truncated and the
+	// installed flows appended, so a caller that dumps repeatedly (the
+	// revalidator's sweep) reuses one buffer instead of materializing a
+	// fresh slice per pass. FlowDump() is FlowDumpInto(nil).
+	FlowDumpInto(buf []Flow) []Flow
 	// FlowFlush drops every installed flow (revalidation after rule
 	// changes, daemon restart).
 	FlowFlush()
+	// SetFlowHook registers (or, with nil, clears) a notification called
+	// for every freshly installed datapath flow, however it was installed
+	// (upcall, FlowPut, negative flow). Replacements that update an
+	// existing flow in place do not re-fire it. This is the seam the
+	// incremental revalidator hangs per-flow expiry timers on, instead of
+	// discovering new flows by full-table dumps.
+	SetFlowHook(fn func(Flow))
 
 	// Execute runs one packet through the datapath fast path, exactly as
 	// if it had arrived on p.InPort (ovs-dpctl execute; also the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ovsxdp/internal/core"
+	"ovsxdp/internal/dpcls"
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/packet"
 	"ovsxdp/internal/perf"
@@ -15,6 +16,11 @@ import (
 // interface — the dpif-netdev analog.
 type Netdev struct {
 	dp *core.Datapath
+
+	// entryScratch is reused across FlowDumpInto calls for the per-PMD
+	// classifier dumps, so repeated dumps (revalidator sweeps) allocate
+	// nothing once warm.
+	entryScratch []*dpcls.Entry
 }
 
 func init() {
@@ -94,32 +100,55 @@ func (d *Netdev) FlowPut(key flow.Key, mask flow.Mask, actions any) {
 	}
 }
 
-// FlowDel implements Dpif: the owning PMD's classifier drops the entry and
-// its EMC is flushed so stale cache entries die with it.
+// FlowDel implements Dpif: the owning PMD's classifier drops the entry,
+// and both fast caches are invalidated for that one megaflow — the EMC via
+// its lazy dead-entry purge, the SMC via its indirection table. Unrelated
+// cache entries survive; the historical full-EMC flush per delete (which
+// collapsed the cache hierarchy under any sustained eviction rate) is
+// reserved for FlowFlush.
 func (d *Netdev) FlowDel(f Flow) bool {
 	m, ok := f.owner.(*core.PMD)
 	if !ok {
 		return false
 	}
-	removed := m.Classifier().Remove(f.Entry)
-	m.FlushEMC()
+	if !m.Classifier().Remove(f.Entry) {
+		return false
+	}
+	m.InvalidateEMC(f.Entry)
 	m.InvalidateSMC(f.Entry)
-	return removed
+	return true
 }
 
 // FlowDump implements Dpif.
-func (d *Netdev) FlowDump() []Flow {
-	var out []Flow
+func (d *Netdev) FlowDump() []Flow { return d.FlowDumpInto(nil) }
+
+// FlowDumpInto implements Dpif.
+func (d *Netdev) FlowDumpInto(buf []Flow) []Flow {
+	buf = buf[:0]
 	for _, m := range d.dp.PMDs() {
-		for _, e := range m.Classifier().Entries() {
-			out = append(out, Flow{Entry: e, owner: m})
+		d.entryScratch = m.Classifier().EntriesInto(d.entryScratch)
+		for _, e := range d.entryScratch {
+			buf = append(buf, Flow{Entry: e, owner: m})
 		}
 	}
-	return out
+	return buf
 }
 
 // FlowFlush implements Dpif.
 func (d *Netdev) FlowFlush() { d.dp.FlushFlows() }
+
+// SetFlowHook implements Dpif, adapting the datapath's per-PMD install
+// notification to the provider-independent Flow shape (the PMD becomes the
+// owner token, exactly as FlowDump reports it).
+func (d *Netdev) SetFlowHook(fn func(Flow)) {
+	if fn == nil {
+		d.dp.SetFlowHook(nil)
+		return
+	}
+	d.dp.SetFlowHook(func(m *core.PMD, e *dpcls.Entry) {
+		fn(Flow{Entry: e, owner: m})
+	})
+}
 
 // Execute implements Dpif.
 func (d *Netdev) Execute(p *packet.Packet) { d.dp.Execute(p) }

@@ -3,6 +3,7 @@ package dpif
 import (
 	"fmt"
 
+	"ovsxdp/internal/dpcls"
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/kernelsim"
 	"ovsxdp/internal/packet"
@@ -36,6 +37,10 @@ type Netlink struct {
 	// GetConfig can echo them back, as OVS's global other_config column
 	// does even for keys this datapath ignores.
 	netdevOnly map[string]string
+
+	// entryScratch is reused across FlowDumpInto calls, so repeated dumps
+	// (revalidator sweeps) allocate nothing once warm.
+	entryScratch []*dpcls.Entry
 }
 
 func init() {
@@ -123,17 +128,32 @@ func (d *Netlink) FlowPut(key flow.Key, mask flow.Mask, actions any) {
 func (d *Netlink) FlowDel(f Flow) bool { return d.kdp.RemoveFlow(f.Entry) }
 
 // FlowDump implements Dpif.
-func (d *Netlink) FlowDump() []Flow {
-	entries := d.kdp.Flows()
-	out := make([]Flow, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, Flow{Entry: e, owner: d})
+func (d *Netlink) FlowDump() []Flow { return d.FlowDumpInto(nil) }
+
+// FlowDumpInto implements Dpif.
+func (d *Netlink) FlowDumpInto(buf []Flow) []Flow {
+	buf = buf[:0]
+	d.entryScratch = d.kdp.FlowsInto(d.entryScratch)
+	for _, e := range d.entryScratch {
+		buf = append(buf, Flow{Entry: e, owner: d})
 	}
-	return out
+	return buf
 }
 
 // FlowFlush implements Dpif.
 func (d *Netlink) FlowFlush() { d.kdp.FlushFlows() }
+
+// SetFlowHook implements Dpif: the kernel table's install notification,
+// with this provider as the owner token (the single classifier shard).
+func (d *Netlink) SetFlowHook(fn func(Flow)) {
+	if fn == nil {
+		d.kdp.SetFlowHook(nil)
+		return
+	}
+	d.kdp.SetFlowHook(func(e *dpcls.Entry) {
+		fn(Flow{Entry: e, owner: d})
+	})
+}
 
 // Execute implements Dpif: the packet runs in softirq context on a
 // dedicated injection CPU.

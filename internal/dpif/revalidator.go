@@ -1,19 +1,28 @@
 package dpif
 
 import (
+	"ovsxdp/internal/costmodel"
 	"ovsxdp/internal/dpcls"
 	"ovsxdp/internal/sim"
 )
 
 // Revalidator ages out idle megaflows, the way ovs-vswitchd's revalidator
 // threads do: a megaflow that saw no traffic for IdleSweeps consecutive
-// sweeps is removed (and, on the netdev datapath, stale EMC entries die
-// with the owning thread's cache flush). Without this, a long-running
-// switch accumulates one megaflow per decision path it ever made.
+// sweeps is removed (and the owning thread's caches drop just that entry —
+// the EMC via its lazy dead-entry purge, the SMC via its indirection
+// table). Without this, a long-running switch accumulates one megaflow per
+// decision path it ever made.
 //
-// The sweeper works entirely through the Dpif seam (FlowDump/FlowDel), so
-// the kernel-module and eBPF datapaths age out idle flows with exactly the
-// same policy as the userspace one.
+// The sweeper works entirely through the Dpif seam (FlowDumpInto/FlowDel),
+// so the kernel-module and eBPF datapaths age out idle flows with exactly
+// the same policy as the userspace one. The dump buffer and the tracking
+// map are reused across sweeps: an idle sweep over a warm table performs
+// zero heap allocations, so sweeping a large table is bounded by its size,
+// not by garbage-collector pressure.
+//
+// For tables large enough that even reading every flow per sweep is the
+// bottleneck, WheelRevalidator replaces periodic sweeps with per-flow
+// expiry timers.
 type Revalidator struct {
 	dp  Dpif
 	eng *sim.Engine
@@ -22,9 +31,18 @@ type Revalidator struct {
 	// IdleSweeps is how many hit-less sweeps a flow survives.
 	IdleSweeps int
 
-	lastHits map[*dpcls.Entry]uint64
-	idleFor  map[*dpcls.Entry]int
-	running  bool
+	// track holds per-flow observation state; dump is the reused flow-dump
+	// buffer; gen stamps which sweep last saw each tracked entry, so state
+	// for flows that vanished by other means (FlowFlush) is dropped
+	// without a second per-sweep set.
+	track   map[*dpcls.Entry]flowTrack
+	dump    []Flow
+	gen     uint64
+	running bool
+
+	// sweepTimer rearms the sweep; binding the callback once keeps
+	// rescheduling allocation-free.
+	sweepTimer *sim.Timer
 
 	// Stall, when set and returning true, models a wedged revalidator
 	// thread (fault injection): the sweep is skipped — idle flows age out
@@ -39,6 +57,13 @@ type Revalidator struct {
 	StalledSweeps uint64
 }
 
+// flowTrack is one tracked megaflow's observation state.
+type flowTrack struct {
+	lastHits uint64
+	idle     int
+	gen      uint64
+}
+
 // StartRevalidator launches periodic sweeps over the datapath on eng.
 func StartRevalidator(eng *sim.Engine, dp Dpif, interval sim.Time, idleSweeps int) *Revalidator {
 	if idleSweeps <= 0 {
@@ -49,21 +74,25 @@ func StartRevalidator(eng *sim.Engine, dp Dpif, interval sim.Time, idleSweeps in
 		eng:        eng,
 		Interval:   interval,
 		IdleSweeps: idleSweeps,
-		lastHits:   make(map[*dpcls.Entry]uint64),
-		idleFor:    make(map[*dpcls.Entry]int),
+		track:      make(map[*dpcls.Entry]flowTrack),
 		running:    true,
 	}
-	eng.Schedule(interval, r.sweep)
+	r.sweepTimer = eng.NewTimer(r.sweep)
+	r.sweepTimer.Schedule(interval)
 	return r
 }
 
-// Stop halts future sweeps and releases the tracking maps. The engine may
-// still hold one already-scheduled sweep closure; it observes the stopped
-// state and returns without touching the datapath or rescheduling.
+// Stop halts future sweeps and releases the tracking state (which
+// otherwise pins every tracked dpcls.Entry for the daemon's lifetime). The
+// pending sweep arm is cancelled; a stopped revalidator never touches the
+// datapath again.
 func (r *Revalidator) Stop() {
 	r.running = false
-	r.lastHits = nil
-	r.idleFor = nil
+	r.track = nil
+	r.dump = nil
+	if r.sweepTimer != nil {
+		r.sweepTimer.Stop()
+	}
 }
 
 // Running reports whether the revalidator is still sweeping.
@@ -76,36 +105,185 @@ func (r *Revalidator) sweep() {
 	}
 	if r.Stall != nil && r.Stall() {
 		r.StalledSweeps++
-		r.eng.Schedule(r.Interval, r.sweep)
+		r.sweepTimer.Schedule(r.Interval)
 		return
 	}
 	r.Sweeps++
-	live := make(map[*dpcls.Entry]bool)
-	for _, f := range r.dp.FlowDump() {
+	r.gen++
+	r.dump = r.dp.FlowDumpInto(r.dump)
+	for _, f := range r.dump {
 		e := f.Entry
-		live[e] = true
-		if e.Hits != r.lastHits[e] {
-			r.lastHits[e] = e.Hits
-			r.idleFor[e] = 0
+		t := r.track[e] // zero value for a first sighting: lastHits 0, idle 0
+		if e.Hits != t.lastHits {
+			t.lastHits = e.Hits
+			t.idle = 0
+			t.gen = r.gen
+			r.track[e] = t
 			continue
 		}
-		r.idleFor[e]++
-		if r.idleFor[e] >= r.IdleSweeps {
+		t.idle++
+		if t.idle >= r.IdleSweeps {
 			if r.dp.FlowDel(f) {
 				r.Evicted++
 			}
-			delete(r.lastHits, e)
-			delete(r.idleFor, e)
-			live[e] = false
+			delete(r.track, e)
+			continue
 		}
+		t.gen = r.gen
+		r.track[e] = t
 	}
 	// Forget tracking state for entries that vanished by other means
-	// (FlowFlush on rule changes).
-	for e := range r.lastHits {
-		if !live[e] {
-			delete(r.lastHits, e)
-			delete(r.idleFor, e)
+	// (FlowFlush on rule changes): anything this sweep did not stamp.
+	for e, t := range r.track {
+		if t.gen != r.gen {
+			delete(r.track, e)
 		}
 	}
-	r.eng.Schedule(r.Interval, r.sweep)
+	r.sweepTimer.Schedule(r.Interval)
+}
+
+// WheelRevalidator ages out idle megaflows with per-flow expiry timers on
+// the engine's timer wheel instead of periodic full-table sweeps: every
+// installed flow registers an idle deadline, a deadline that fires finds
+// the flow either active (hits advanced — the deadline is re-armed one
+// idle timeout out, the mintmr-style lazy re-arm that keeps the packet
+// path free of timer work) or idle (the flow is evicted). Work per
+// interval is therefore proportional to the flows whose deadlines elapse —
+// under churn, the expiring ones — never to the table size, which is what
+// makes a million-flow table with active expiry affordable.
+//
+// Flow discovery is event-driven through the Dpif flow hook, so a flow is
+// tracked from the instant the datapath installs it, whichever path
+// installed it (upcall, FlowPut, negative flow). Flows that vanish by
+// other means (FlowFlush, negative-flow TTL) are recognized dead at their
+// next deadline and dropped from tracking.
+//
+// Each check charges costmodel.RevalFlowCheck (and evictions
+// RevalFlowEvict) to the dedicated revalidator CPU, so experiments can
+// report a revalidator duty cycle alongside the PMD's.
+type WheelRevalidator struct {
+	dp  Dpif
+	eng *sim.Engine
+	// CPU is the revalidator thread's CPU; its busy share over a window is
+	// the revalidator duty cycle.
+	CPU *sim.CPU
+	// IdleTimeout is how long a flow may go without a hit before
+	// eviction. With lazy re-arming the eviction lands between one and two
+	// timeouts after the last hit, exactly like OVS's max-idle against a
+	// coarse dump interval.
+	IdleTimeout sim.Time
+
+	expireFn func(any)
+	free     []*flowRec
+	running  bool
+
+	// Stats.
+	// Installs counts flows registered for tracking (every datapath
+	// install plus flows present when the revalidator started).
+	Installs uint64
+	// Checks counts deadline firings that inspected a live flow.
+	Checks uint64
+	// Rearms counts checks that found the flow active and re-armed it.
+	Rearms uint64
+	// Evicted counts idle flows removed from the datapath.
+	Evicted uint64
+}
+
+// flowRec is one tracked flow's timer state; records recycle through the
+// revalidator's free list so steady-state churn allocates nothing.
+type flowRec struct {
+	f        Flow
+	lastHits uint64
+}
+
+// StartWheelRevalidator launches incremental flow expiry over the datapath:
+// existing flows are registered immediately, future ones as the datapath
+// installs them. idleTimeout <= 0 defaults to costmodel.NegativeFlowTTL.
+func StartWheelRevalidator(eng *sim.Engine, dp Dpif, idleTimeout sim.Time) *WheelRevalidator {
+	if idleTimeout <= 0 {
+		idleTimeout = costmodel.NegativeFlowTTL
+	}
+	r := &WheelRevalidator{
+		dp:          dp,
+		eng:         eng,
+		CPU:         eng.NewCPU("revalidator"),
+		IdleTimeout: idleTimeout,
+		running:     true,
+	}
+	r.expireFn = r.onExpire
+	dp.SetFlowHook(r.register)
+	for _, f := range dp.FlowDump() {
+		r.register(f)
+	}
+	return r
+}
+
+// Stop detaches the revalidator: the flow hook is cleared and every
+// outstanding deadline, as it fires, releases its record without touching
+// the datapath.
+func (r *WheelRevalidator) Stop() {
+	if !r.running {
+		return
+	}
+	r.running = false
+	r.dp.SetFlowHook(nil)
+}
+
+// Running reports whether the revalidator is still tracking flows.
+func (r *WheelRevalidator) Running() bool { return r.running }
+
+// register starts tracking one installed flow: record its current hit
+// count and arm its idle deadline.
+func (r *WheelRevalidator) register(f Flow) {
+	r.Installs++
+	rec := r.newRec()
+	rec.f = f
+	rec.lastHits = f.Entry.Hits
+	r.eng.ScheduleArgAt(r.eng.Now()+r.IdleTimeout, r.expireFn, rec)
+}
+
+// onExpire is the deadline handler: drop dead flows from tracking, re-arm
+// active ones, evict idle ones.
+func (r *WheelRevalidator) onExpire(arg any) {
+	rec := arg.(*flowRec)
+	if !r.running {
+		r.freeRec(rec)
+		return
+	}
+	e := rec.f.Entry
+	if e.Dead() {
+		// Removed by other means (FlowFlush, negative-flow TTL, another
+		// revalidator): nothing to do but stop tracking it.
+		r.freeRec(rec)
+		return
+	}
+	r.Checks++
+	r.CPU.Consume(sim.User, costmodel.RevalFlowCheck)
+	if e.Hits != rec.lastHits {
+		rec.lastHits = e.Hits
+		r.Rearms++
+		r.eng.ScheduleArgAt(r.eng.Now()+r.IdleTimeout, r.expireFn, rec)
+		return
+	}
+	r.CPU.Consume(sim.User, costmodel.RevalFlowEvict)
+	if r.dp.FlowDel(rec.f) {
+		r.Evicted++
+	}
+	r.freeRec(rec)
+}
+
+// newRec takes a record from the free list or allocates one.
+func (r *WheelRevalidator) newRec() *flowRec {
+	if n := len(r.free); n > 0 {
+		rec := r.free[n-1]
+		r.free = r.free[:n-1]
+		return rec
+	}
+	return &flowRec{}
+}
+
+// freeRec recycles a record whose flow is no longer tracked.
+func (r *WheelRevalidator) freeRec(rec *flowRec) {
+	*rec = flowRec{}
+	r.free = append(r.free, rec)
 }

@@ -108,8 +108,8 @@ func TestRevalidatorStop(t *testing.T) {
 	if r.Running() {
 		t.Error("Running() true after Stop")
 	}
-	if r.lastHits != nil || r.idleFor != nil {
-		t.Error("Stop did not release the tracking maps")
+	if r.track != nil || r.dump != nil {
+		t.Error("Stop did not release the tracking state")
 	}
 
 	// The engine still holds one scheduled sweep closure; it must observe

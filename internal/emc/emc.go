@@ -38,12 +38,26 @@ type Cache[V any] struct {
 	basis uint32
 	count int // live entries (kept incrementally; Len is O(1))
 
+	// alive, when set, is consulted on every lookup hit: an entry whose
+	// value it rejects is purged and the lookup misses — OVS's
+	// emc_entry_alive check. This is what makes megaflow deletion O(1)
+	// for the EMC: a delete marks the megaflow dead and its cache entries
+	// evaporate lazily, instead of a full-cache scan (or worse, a full
+	// flush) per delete.
+	alive func(V) bool
+
 	// Stats.
 	Hits      uint64
 	Misses    uint64
 	Inserts   uint64
 	Evictions uint64
+	// StalePurged counts entries lazily removed by the alive check.
+	StalePurged uint64
 }
+
+// SetAliveCheck registers the liveness predicate applied to cached values
+// on lookup and insert. nil disables the check (every entry is alive).
+func (c *Cache[V]) SetAliveCheck(fn func(V) bool) { c.alive = fn }
 
 // New returns a cache with the given number of entries, rounded up to a
 // power of two, at least Ways.
@@ -58,11 +72,18 @@ func New[V any](entries int, hashBasis uint32) *Cache[V] {
 	return &Cache[V]{sets: make([][Ways]entry[V], n), mask: uint32(n - 1), basis: hashBasis}
 }
 
-// Lookup returns the value cached for key, if any.
+// Lookup returns the value cached for key, if any. An entry whose value
+// fails the alive check is purged and reported as a miss.
 func (c *Cache[V]) Lookup(key flow.Key) (V, bool) {
 	set := &c.sets[key.Hash(c.basis)&c.mask]
 	for i := range set {
 		if set[i].valid && set[i].key == key {
+			if c.alive != nil && !c.alive(set[i].value) {
+				set[i] = entry[V]{}
+				c.count--
+				c.StalePurged++
+				break
+			}
 			c.Hits++
 			return set[i].value, true
 		}
@@ -84,11 +105,16 @@ func (c *Cache[V]) Insert(key flow.Key, value V) {
 			return
 		}
 	}
-	// Free way.
+	// Free way — a slot holding a dead value counts as free (lazy purge).
 	for i := range set {
 		if !set[i].valid {
 			set[i] = entry[V]{key: key, value: value, valid: true}
 			c.count++
+			return
+		}
+		if c.alive != nil && !c.alive(set[i].value) {
+			set[i] = entry[V]{key: key, value: value, valid: true}
+			c.StalePurged++
 			return
 		}
 	}

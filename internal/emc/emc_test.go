@@ -229,3 +229,73 @@ func BenchmarkLookupHit(b *testing.B) {
 		c.Lookup(k)
 	}
 }
+
+// TestAliveCheckPurgesOnLookup: an entry whose value fails the registered
+// alive check is purged at lookup time and reported as a miss, while live
+// entries are untouched — OVS's emc_entry_alive discipline, which is what
+// makes megaflow deletion O(1) for the EMC.
+func TestAliveCheckPurgesOnLookup(t *testing.T) {
+	c := New[*int](64, 0)
+	c.SetAliveCheck(func(v *int) bool { return v != nil && *v != 0 })
+	liveV, deadV := 7, 7
+	k1, k2 := keyN(1), keyN(2)
+	c.Insert(k1, &liveV)
+	c.Insert(k2, &deadV)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+
+	deadV = 0 // k2's megaflow dies
+	if _, ok := c.Lookup(k2); ok {
+		t.Fatal("dead entry must miss")
+	}
+	if c.StalePurged != 1 {
+		t.Fatalf("StalePurged = %d, want 1", c.StalePurged)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len after purge = %d, want 1", c.Len())
+	}
+	if v, ok := c.Lookup(k1); !ok || *v != 7 {
+		t.Fatalf("live entry affected by unrelated purge: %v, %v", v, ok)
+	}
+
+	// The purged key is insertable again and hits with the new value.
+	fresh := 9
+	c.Insert(k2, &fresh)
+	if v, ok := c.Lookup(k2); !ok || *v != 9 {
+		t.Fatalf("reinsert after purge = %v, %v", v, ok)
+	}
+}
+
+// TestAliveCheckReclaimsSlotOnInsert: inserting into a set whose ways hold
+// a dead value reclaims that slot instead of evicting a live entry, and the
+// live count stays consistent.
+func TestAliveCheckReclaimsSlotOnInsert(t *testing.T) {
+	c := New[*int](Ways, 0) // single set: every key collides
+	c.SetAliveCheck(func(v *int) bool { return v != nil && *v != 0 })
+	a, b := 1, 1
+	c.Insert(keyN(1), &a)
+	c.Insert(keyN(2), &b) // set is now full
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+
+	a = 0 // first flow dies; its slot is reclaimable
+	fresh := 5
+	c.Insert(keyN(3), &fresh)
+	if c.Evictions != 0 {
+		t.Fatalf("insert evicted a live entry instead of reclaiming the dead slot (evictions=%d)", c.Evictions)
+	}
+	if c.StalePurged != 1 {
+		t.Fatalf("StalePurged = %d, want 1", c.StalePurged)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (dead slot swapped for live)", c.Len())
+	}
+	if v, ok := c.Lookup(keyN(3)); !ok || *v != 5 {
+		t.Fatalf("reclaimed-slot entry = %v, %v", v, ok)
+	}
+	if v, ok := c.Lookup(keyN(2)); !ok || *v != 1 {
+		t.Fatalf("live entry lost: %v, %v", v, ok)
+	}
+}
