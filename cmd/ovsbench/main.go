@@ -37,6 +37,8 @@ func main() {
 	simspeedPoints := flag.String("simspeed-points", "", "comma-separated simspeed points to run (default: all)")
 	churnscaleOut := flag.String("churnscale-out", "BENCH_churnscale.json", "where -scenario churnscale writes its JSON result")
 	churnscalePoints := flag.String("churnscale-points", "", "comma-separated churnscale points to run (default: all)")
+	connscaleOut := flag.String("connscale-out", "BENCH_connscale.json", "where -scenario connscale writes its JSON result")
+	connscalePoints := flag.String("connscale-points", "", "comma-separated connscale points to run (default: all)")
 	flag.Func("o", "other_config key=value applied to every bed (repeatable, e.g. -o pmd-rxq-assign=cycles)", func(s string) error {
 		for i := 1; i < len(s); i++ {
 			if s[i] == '=' {
@@ -120,6 +122,15 @@ func main() {
 				}
 			}
 		}
+		if s.ID == "connscale" {
+			experiments.ConnscaleJSONPath = *connscaleOut
+			if *connscalePoints != "" {
+				experiments.ConnscaleOnly = map[string]bool{}
+				for _, p := range strings.Split(*connscalePoints, ",") {
+					experiments.ConnscaleOnly[strings.TrimSpace(p)] = true
+				}
+			}
+		}
 		start := time.Now()
 		rep := s.Run(profile)
 		fmt.Print(rep)
@@ -190,10 +201,11 @@ usage:
   ovsbench [-quick] [-cpuprofile f] [-memprofile f] -scenario <scenario>
   ovsbench [-quick] -scenario simspeed [-simspeed-out f] [-simspeed-baseline f] [-simspeed-points a,b]
   ovsbench [-quick] -scenario churnscale [-churnscale-out f] [-churnscale-points a,b]
+  ovsbench [-quick] -scenario connscale [-connscale-out f] [-connscale-points a,b]
 
 experiments: fig1 fig2 fig8a fig8b fig8c fig9a fig9b fig9c fig10 fig11 fig12
              table1 table2 table3 table4 table5
-scenarios:   restart cachesweep churnscale corescale simspeed
+scenarios:   restart cachesweep churnscale connscale corescale simspeed
 `)
 	flag.PrintDefaults()
 }

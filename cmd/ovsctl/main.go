@@ -311,6 +311,16 @@ func dpctlStats(dpType string, cfg cliConfig) error {
 			pct(emc), pct(smcN), pct(mega), pct(up))
 	}
 	fmt.Printf("  flows: %d\n", st.Flows)
+	// Conntrack lines appear only once the tracker has seen a ct()
+	// action, so pipelines without connection tracking print unchanged.
+	if st.CtCreated > 0 || st.CtConns > 0 {
+		fmt.Printf("  conntrack: conns:%d created:%d expired:%d early-drop:%d evicted:%d table-full:%d nat-exhausted:%d\n",
+			st.CtConns, st.CtCreated, st.CtExpired, st.CtEarlyDrops,
+			st.CtEvictions, st.CtTableFull, st.CtNATExhausted)
+		for _, z := range st.ConnsPerZone {
+			fmt.Printf("    zone %d: %d conns\n", z.Zone, z.Conns)
+		}
+	}
 	fmt.Printf("  ports: %d\n", e.dp.PortCount())
 	return nil
 }

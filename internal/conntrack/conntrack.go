@@ -9,6 +9,12 @@
 // rewriting, and enforce per-zone connection limits — the feature whose
 // kernel/out-of-tree double implementation Section 2.1.1 uses as a case
 // study.
+//
+// The table is sharded (shard.go) the way the kernel's nf_conntrack hash
+// is bucket-locked, records are free-listed and can expire on the engine
+// timer wheel (expiry.go), per-zone limits degrade gracefully under
+// pressure instead of hard-failing (degrade.go), and SNAT can draw ports
+// from an allocator whose exhaustion path is deterministic (natpool.go).
 package conntrack
 
 import (
@@ -36,6 +42,24 @@ func (t Tuple) Reverse() Tuple {
 // String formats the tuple for diagnostics.
 func (t Tuple) String() string {
 	return fmt.Sprintf("%s:%d->%s:%d/%s", t.SrcIP, t.SrcPort, t.DstIP, t.DstPort, t.Proto)
+}
+
+// less orders tuples lexicographically; used only on cold paths that need
+// a deterministic iteration order over map-held connections.
+func (t Tuple) less(o Tuple) bool {
+	if t.SrcIP != o.SrcIP {
+		return t.SrcIP < o.SrcIP
+	}
+	if t.DstIP != o.DstIP {
+		return t.DstIP < o.DstIP
+	}
+	if t.Proto != o.Proto {
+		return t.Proto < o.Proto
+	}
+	if t.SrcPort != o.SrcPort {
+		return t.SrcPort < o.SrcPort
+	}
+	return t.DstPort < o.DstPort
 }
 
 // State is the connection's protocol state.
@@ -72,15 +96,36 @@ func (s State) String() string {
 	}
 }
 
-// Timeouts per state, in virtual time. They are compressed relative to real
-// netfilter defaults so simulations can exercise expiry without hours of
-// virtual time; the ordering (established >> transient) is preserved.
+// Default timeouts per state, in virtual time. They are compressed relative
+// to real netfilter defaults so simulations can exercise expiry without
+// hours of virtual time; the ordering (established >> transient) is
+// preserved.
 const (
 	TimeoutSynSent     = 30 * sim.Second
 	TimeoutEstablished = 600 * sim.Second
 	TimeoutUDP         = 60 * sim.Second
 	TimeoutFin         = 10 * sim.Second
 )
+
+// Timeouts holds the per-state-class expiry intervals. Scenarios compress
+// them further (connscale uses millisecond-scale timeouts to cycle a
+// million connections inside one measurement window).
+type Timeouts struct {
+	SynSent     sim.Time
+	Established sim.Time
+	UDP         sim.Time
+	Fin         sim.Time
+}
+
+// DefaultTimeouts returns the package-constant intervals.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{
+		SynSent:     TimeoutSynSent,
+		Established: TimeoutEstablished,
+		UDP:         TimeoutUDP,
+		Fin:         TimeoutFin,
+	}
+}
 
 // NAT describes a translation to apply at commit time.
 type NAT struct {
@@ -89,6 +134,12 @@ type NAT struct {
 	Kind NATKind
 	Addr hdr.IP4
 	Port uint16 // 0 keeps the original port
+
+	// PortLo/PortHi select dynamic allocation from [PortLo, PortHi]
+	// (the ct(nat(src=ip:lo-hi)) form): commit draws a free port from
+	// the pool and the connection holds it until removal. Both zero
+	// means no range; Port is then used verbatim.
+	PortLo, PortHi uint16
 }
 
 // NATKind discriminates source vs destination translation.
@@ -111,8 +162,23 @@ type Conn struct {
 
 	created sim.Time
 	expires sim.Time
-	// packets/bytes per direction.
+	// packets per direction.
 	PktsOrig, PktsReply uint64
+
+	// Intrusive per-zone recency list (degrade.go). prev/next double as
+	// the free-list link when the record is recycled.
+	prev, next *Conn
+	zs         *zoneState
+	class      connClass
+
+	// Lazily created wheel timer (expiry.go); survives recycling so a
+	// record's timer closure is allocated at most once.
+	timer *sim.Timer
+
+	// NAT port allocator bookkeeping (natpool.go).
+	pool               *natPool
+	poolPrev, poolNext *Conn
+	poolPort           uint16
 }
 
 type connKey struct {
@@ -122,11 +188,13 @@ type connKey struct {
 
 // Table is the connection table.
 type Table struct {
-	eng   *sim.Engine
-	conns map[connKey]*Conn
-	// reverse maps the reply-direction (post-NAT) tuple to the conn.
-	perZone map[uint16]int
-	limits  map[uint16]int
+	eng    *sim.Engine
+	shards []ctShard
+	zones  map[uint16]*zoneState
+	pools  map[natPoolKey]*natPool
+	free   *Conn // recycled records, linked through next
+	live   int
+	wheel  bool
 
 	// Loose enables mid-stream TCP pickup (nf_conntrack_tcp_loose,
 	// enabled by default in Linux): a non-SYN packet with no known
@@ -134,52 +202,74 @@ type Table struct {
 	// marked invalid.
 	Loose bool
 
-	// Stats.
+	// Timeouts are the per-state expiry intervals (DefaultTimeouts
+	// unless a scenario compresses them).
+	Timeouts Timeouts
+
+	// Stats. Every removal increments exactly one of Expired,
+	// EarlyDrops, or Evicted, so at any instant
+	// Created == Len() + Expired + EarlyDrops + Evicted.
 	Created   uint64
 	Expired   uint64
-	LimitHits uint64
+	LimitHits uint64 // commits refused at the hard limit (table-full drops)
+	// Degradation-ladder counters (degrade.go).
+	EarlyDrops uint64 // embryonic connections shed in the soft band
+	Evicted    uint64 // LRU emergency evictions at the hard limit / NAT pool
+	// NAT port allocator counters (natpool.go).
+	NATExhausted     uint64 // commits refused with every port in the range held
+	NATPortEvictions uint64 // of Evicted: evictions made to free a NAT port
+	// RelatedICMP counts ICMP errors mapped back to an existing
+	// connection (icmp.go).
+	RelatedICMP uint64
 }
 
 // NewTable builds an empty table on the engine's clock.
 func NewTable(eng *sim.Engine) *Table {
-	return &Table{
-		eng:     eng,
-		conns:   make(map[connKey]*Conn),
-		perZone: make(map[uint16]int),
-		limits:  make(map[uint16]int),
-		Loose:   true,
+	t := &Table{
+		eng:      eng,
+		zones:    make(map[uint16]*zoneState),
+		Loose:    true,
+		Timeouts: DefaultTimeouts(),
 	}
-}
-
-// SetZoneLimit caps concurrent connections in zone (0 removes the cap),
-// the per-zone connection limiting feature of Section 2.1.1.
-func (t *Table) SetZoneLimit(zone uint16, limit int) {
-	if limit <= 0 {
-		delete(t.limits, zone)
-		return
-	}
-	t.limits[zone] = limit
+	t.initShards(DefaultShards)
+	return t
 }
 
 // Len returns the number of live connections (expired entries may linger
-// until touched or swept).
-func (t *Table) Len() int { return len(t.conns) / 2 }
+// until touched, swept, or — with wheel expiry on — their timer fires).
+func (t *Table) Len() int { return t.live }
 
 // ZoneCount returns live connections in a zone.
-func (t *Table) ZoneCount(zone uint16) int { return t.perZone[zone] }
+func (t *Table) ZoneCount(zone uint16) int {
+	if zs := t.zones[zone]; zs != nil {
+		return zs.count
+	}
+	return 0
+}
 
 // TupleOf extracts the conntrack tuple from an IPv4 packet, reporting false
-// for non-IPv4 or fragmented-beyond-first packets.
+// for non-IPv4, fragmented-beyond-first, or ICMP-error packets (the latter
+// are matched through their embedded tuple, not a tuple of their own).
 func TupleOf(p *packet.Packet) (Tuple, bool) {
-	var tu Tuple
+	tu, _, icmpErr, ok := extract(p)
+	if icmpErr {
+		return tu, false
+	}
+	return tu, ok
+}
+
+// extract pulls the 5-tuple and TCP flags out of an IPv4 frame in one
+// parsing pass. icmpErr reports an ICMP error message (destination
+// unreachable, time exceeded, ...) that carries an embedded tuple instead.
+func extract(p *packet.Packet) (tu Tuple, tcpFlags uint8, icmpErr bool, ok bool) {
 	d := p.Data
 	eth, err := hdr.ParseEthernet(d)
 	if err != nil || eth.Type != hdr.EtherTypeIPv4 {
-		return tu, false
+		return tu, 0, false, false
 	}
 	ip, err := hdr.ParseIPv4(d[eth.HeaderLen:])
 	if err != nil || ip.FragOffset != 0 {
-		return tu, false
+		return tu, 0, false, false
 	}
 	tu.SrcIP, tu.DstIP, tu.Proto = ip.Src, ip.Dst, ip.Proto
 	l4 := d[eth.HeaderLen+ip.HeaderLen:]
@@ -187,53 +277,63 @@ func TupleOf(p *packet.Packet) (Tuple, bool) {
 	case hdr.IPProtoTCP:
 		h, err := hdr.ParseTCP(l4)
 		if err != nil {
-			return tu, false
+			return tu, 0, false, false
 		}
 		tu.SrcPort, tu.DstPort = h.SrcPort, h.DstPort
+		tcpFlags = h.Flags
 	case hdr.IPProtoUDP:
 		h, err := hdr.ParseUDP(l4)
 		if err != nil {
-			return tu, false
+			return tu, 0, false, false
 		}
 		tu.SrcPort, tu.DstPort = h.SrcPort, h.DstPort
 	case hdr.IPProtoICMP:
 		h, err := hdr.ParseICMP(l4)
 		if err != nil {
-			return tu, false
+			return tu, 0, false, false
+		}
+		if icmpErrorType(h.Type) {
+			return tu, 0, true, true
 		}
 		tu.SrcPort, tu.DstPort = h.ID, h.ID
 	default:
-		return tu, false
+		return tu, 0, false, false
 	}
-	return tu, true
+	return tu, tcpFlags, false, true
 }
 
 // Process runs the packet through the tracker in the given zone: the ct()
 // datapath action. It sets the packet's conntrack metadata (CtState, CtZone,
 // CtMark). With commit set, a new connection is installed (subject to the
-// zone limit); without it, new connections are only classified, as in OVS
-// where commit happens on the firewall's allow rule.
+// zone limit ladder); without it, new connections are only classified, as in
+// OVS where commit happens on the firewall's allow rule.
 func (t *Table) Process(p *packet.Packet, zone uint16, commit bool, nat NAT) {
 	p.CtZone = zone
-	tu, ok := TupleOf(p)
+	tu, tcpFlags, icmpErr, ok := extract(p)
 	if !ok {
 		p.CtState = packet.CtTracked | packet.CtInvalid
 		return
 	}
+	if icmpErr {
+		t.processICMPError(p, zone)
+		return
+	}
 	now := t.eng.Now()
 
-	var tcpFlags uint8
-	if tu.Proto == hdr.IPProtoTCP {
-		eth, _ := hdr.ParseEthernet(p.Data)
-		ip, _ := hdr.ParseIPv4(p.Data[eth.HeaderLen:])
-		tcp, _ := hdr.ParseTCP(p.Data[eth.HeaderLen+ip.HeaderLen:])
-		tcpFlags = tcp.Flags
+	c, found := t.lookup(zone, tu)
+	if found && c.State == StateClosed && c.Orig.Proto == hdr.IPProtoTCP &&
+		tcpFlags&hdr.TCPSyn != 0 && tcpFlags&(hdr.TCPAck|hdr.TCPRst|hdr.TCPFin) == 0 {
+		// A fresh SYN over a closed (RST'd) connection reopens it, the
+		// netfilter TIME_WAIT-reuse behavior: retire the stale record and
+		// let the SYN start a new connection below.
+		t.removeConn(c)
+		t.Expired++
+		found = false
 	}
-
-	// Original direction?
-	if c, ok := t.lookup(zone, tu); ok {
+	if found {
 		reply := c.Orig != tu
 		t.advance(c, tcpFlags, reply, now)
+		t.touch(c)
 		p.CtState = packet.CtTracked
 		p.CtMark = c.Mark
 		switch c.State {
@@ -274,23 +374,35 @@ func (t *Table) Process(p *packet.Packet, zone uint16, commit bool, nat NAT) {
 	if !commit {
 		return
 	}
-	if limit, ok := t.limits[zone]; ok && t.perZone[zone] >= limit {
-		t.LimitHits++
+	zs := t.zone(zone)
+	if !t.admit(zs) {
 		p.CtState = packet.CtTracked | packet.CtInvalid
 		return
 	}
-	c := &Conn{Zone: zone, Orig: tu, State: StateNew, NAT: nat, created: now}
+	c = t.allocConn()
+	c.Zone, c.Orig, c.State, c.NAT, c.created = zone, tu, StateNew, nat, now
+	if nat.Kind != NATNone && nat.PortLo != 0 {
+		port, ok := t.allocNATPort(c, nat)
+		if !ok {
+			t.freeConn(c)
+			p.CtState = packet.CtTracked | packet.CtInvalid
+			return
+		}
+		c.NAT.Port = port
+	}
 	switch {
 	case midstream:
 		c.State = StateEstablished
-		c.expires = now + TimeoutEstablished
+		c.expires = now + t.Timeouts.Established
 	case tu.Proto == hdr.IPProtoTCP:
 		c.State = StateSynSent
-		c.expires = now + TimeoutSynSent
+		c.expires = now + t.Timeouts.SynSent
 	default:
-		c.expires = now + TimeoutUDP
+		c.expires = now + t.Timeouts.UDP
 	}
 	c.PktsOrig = 1
+	c.zs = zs
+	c.class = classOf(c.State)
 	t.install(c)
 	t.Created++
 	t.applyNAT(p, c, false)
@@ -299,12 +411,12 @@ func (t *Table) Process(p *packet.Packet, zone uint16, commit bool, nat NAT) {
 // lookup finds the connection for tuple in zone, in either direction,
 // dropping it if expired.
 func (t *Table) lookup(zone uint16, tu Tuple) (*Conn, bool) {
-	c, ok := t.conns[connKey{zone, tu}]
+	c, ok := t.get(zone, tu)
 	if !ok {
 		return nil, false
 	}
 	if t.eng.Now() >= c.expires {
-		t.remove(c)
+		t.removeConn(c)
 		t.Expired++
 		return nil, false
 	}
@@ -332,26 +444,35 @@ func (t *Table) advance(c *Conn, tcpFlags uint8, reply bool, now sim.Time) {
 		if reply && c.State != StateEstablished {
 			c.State = StateEstablished
 		}
-		c.expires = now + TimeoutUDP
+		c.expires = now + t.Timeouts.UDP
 		return
 	}
 	switch {
 	case tcpFlags&hdr.TCPRst != 0:
 		c.State = StateClosed
-		c.expires = now + TimeoutFin
+		c.expires = now + t.Timeouts.Fin
 	case tcpFlags&hdr.TCPFin != 0:
-		c.State = StateFinWait
-		c.expires = now + TimeoutFin
+		if c.State != StateClosed {
+			c.State = StateFinWait
+		}
+		c.expires = now + t.Timeouts.Fin
 	case c.State == StateSynSent && reply && tcpFlags&hdr.TCPSyn != 0 && tcpFlags&hdr.TCPAck != 0:
 		c.State = StateSynRecv
-		c.expires = now + TimeoutSynSent
+		c.expires = now + t.Timeouts.SynSent
 	case c.State == StateSynRecv && !reply && tcpFlags&hdr.TCPAck != 0:
 		c.State = StateEstablished
-		c.expires = now + TimeoutEstablished
+		c.expires = now + t.Timeouts.Established
 	case c.State == StateEstablished:
-		c.expires = now + TimeoutEstablished
+		// Includes a retransmitted SYN on an established connection:
+		// it refreshes the timeout but must not reset the state.
+		c.expires = now + t.Timeouts.Established
+	case c.State == StateFinWait || c.State == StateClosed:
+		// Closing states keep the short timeout: the stray ACKs of a
+		// simultaneous close must not pin the record for the SYN
+		// timeout.
+		c.expires = now + t.Timeouts.Fin
 	default:
-		c.expires = now + TimeoutSynSent
+		c.expires = now + t.Timeouts.SynSent
 	}
 }
 
@@ -420,19 +541,58 @@ func (t *Table) applyNAT(p *packet.Packet, c *Conn, reply bool) {
 	}
 }
 
-// install indexes the connection under both directions. The reply
-// direction accounts for NAT: replies arrive addressed to the translated
-// tuple.
+// install indexes the connection under both directions and threads it onto
+// its zone's recency list. The reply direction accounts for NAT: replies
+// arrive addressed to the translated tuple.
 func (t *Table) install(c *Conn) {
-	t.conns[connKey{c.Zone, c.Orig}] = c
-	t.conns[connKey{c.Zone, t.replyTuple(c)}] = c
-	t.perZone[c.Zone]++
+	t.shardFor(c.Zone, c.Orig).conns[connKey{c.Zone, c.Orig}] = c
+	rt := t.replyTuple(c)
+	t.shardFor(c.Zone, rt).conns[connKey{c.Zone, rt}] = c
+	c.zs.count++
+	c.zs.lists[c.class].pushBack(c)
+	t.live++
+	if t.wheel {
+		t.armTimer(c)
+	}
 }
 
-func (t *Table) remove(c *Conn) {
-	delete(t.conns, connKey{c.Zone, c.Orig})
-	delete(t.conns, connKey{c.Zone, t.replyTuple(c)})
-	t.perZone[c.Zone]--
+// removeConn unlinks the connection from both shard indexes, its zone
+// list, its NAT port pool, and its wheel timer, then recycles the record.
+// The caller attributes the removal by bumping exactly one of the Expired,
+// EarlyDrops, or Evicted counters.
+func (t *Table) removeConn(c *Conn) {
+	delete(t.shardFor(c.Zone, c.Orig).conns, connKey{c.Zone, c.Orig})
+	rt := t.replyTuple(c)
+	delete(t.shardFor(c.Zone, rt).conns, connKey{c.Zone, rt})
+	c.zs.count--
+	c.zs.lists[c.class].remove(c)
+	t.live--
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	if c.pool != nil {
+		c.pool.release(c)
+	}
+	t.freeConn(c)
+}
+
+// allocConn takes a record off the free list, or allocates one.
+func (t *Table) allocConn() *Conn {
+	if c := t.free; c != nil {
+		t.free = c.next
+		c.next = nil
+		return c
+	}
+	return &Conn{}
+}
+
+// freeConn resets a record (keeping its timer, whose closure is bound to
+// the record pointer) and pushes it on the free list.
+func (t *Table) freeConn(c *Conn) {
+	timer := c.timer
+	*c = Conn{timer: timer}
+	c.next = t.free
+	t.free = c
 }
 
 // replyTuple computes the tuple reply packets carry, after translation.
@@ -453,20 +613,57 @@ func (t *Table) replyTuple(c *Conn) Tuple {
 	return r
 }
 
-// Sweep removes expired connections and returns the count removed.
+// Sweep removes expired connections and returns the count removed. With
+// wheel expiry enabled it is a no-op in steady state (timers fire first)
+// but remains correct.
 func (t *Table) Sweep() int {
 	now := t.eng.Now()
 	var victims []*Conn
 	seen := map[*Conn]bool{}
-	for _, c := range t.conns {
-		if now >= c.expires && !seen[c] {
-			seen[c] = true
-			victims = append(victims, c)
+	for i := range t.shards {
+		for _, c := range t.shards[i].conns {
+			if now >= c.expires && !seen[c] {
+				seen[c] = true
+				victims = append(victims, c)
+			}
 		}
 	}
 	for _, c := range victims {
-		t.remove(c)
+		t.removeConn(c)
 		t.Expired++
 	}
 	return len(victims)
 }
+
+// Counters is a snapshot of the tracker's global counters for stats
+// surfaces (dpif.Stats, dpctl-stats).
+type Counters struct {
+	Conns            int
+	Created          uint64
+	Expired          uint64
+	EarlyDrops       uint64
+	Evicted          uint64
+	TableFull        uint64
+	NATExhausted     uint64
+	NATPortEvictions uint64
+	RelatedICMP      uint64
+}
+
+// Counters snapshots the global counters.
+func (t *Table) Counters() Counters {
+	return Counters{
+		Conns:            t.live,
+		Created:          t.Created,
+		Expired:          t.Expired,
+		EarlyDrops:       t.EarlyDrops,
+		Evicted:          t.Evicted,
+		TableFull:        t.LimitHits,
+		NATExhausted:     t.NATExhausted,
+		NATPortEvictions: t.NATPortEvictions,
+		RelatedICMP:      t.RelatedICMP,
+	}
+}
+
+// PressureRemovals returns early-drops plus evictions — the removals the
+// datapath charges eviction cost for.
+func (t *Table) PressureRemovals() uint64 { return t.EarlyDrops + t.Evicted }

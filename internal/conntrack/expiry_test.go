@@ -1,0 +1,90 @@
+package conntrack
+
+import (
+	"testing"
+
+	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/sim"
+)
+
+// TestWheelExpiresIdleWithoutSweep: with wheel expiry enabled an idle
+// connection is removed by its timer — no Sweep, no lookup needed.
+func TestWheelExpiresIdleWithoutSweep(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ct := NewTable(eng)
+	ct.Timeouts.SynSent = 10 * sim.Millisecond
+	ct.EnableWheelExpiry(true)
+
+	ct.Process(tcpPkt(ipA, ipB, 1000, 80, hdr.TCPSyn), 1, true, NAT{})
+	if ct.Len() != 1 {
+		t.Fatalf("len = %d, want 1", ct.Len())
+	}
+	eng.RunUntil(20 * sim.Millisecond)
+	if ct.Len() != 0 || ct.Expired != 1 {
+		t.Fatalf("len=%d expired=%d after timeout, want 0/1", ct.Len(), ct.Expired)
+	}
+}
+
+// TestWheelLazyRearmKeepsActive: traffic refreshes only the expiry stamp;
+// when the stale timer fires it must re-arm for the refreshed deadline
+// instead of killing the active connection.
+func TestWheelLazyRearmKeepsActive(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ct := NewTable(eng)
+	ct.Timeouts = Timeouts{SynSent: 50 * sim.Millisecond, Established: 50 * sim.Millisecond,
+		UDP: 50 * sim.Millisecond, Fin: 50 * sim.Millisecond}
+	ct.EnableWheelExpiry(true)
+	handshake(ct, 1, 1000, 80)
+
+	// Refresh at 20ms and 40ms; the original 50ms deadline passes with
+	// the connection active.
+	for _, at := range []sim.Time{20 * sim.Millisecond, 40 * sim.Millisecond} {
+		eng.ScheduleAt(at, func() {
+			ct.Process(tcpPkt(ipA, ipB, 1000, 80, hdr.TCPAck), 1, false, NAT{})
+		})
+	}
+	eng.RunUntil(70 * sim.Millisecond)
+	if ct.Len() != 1 {
+		t.Fatal("active connection expired despite refreshes")
+	}
+	// Idle from 40ms: gone once 40ms + 50ms passes.
+	eng.RunUntil(120 * sim.Millisecond)
+	if ct.Len() != 0 {
+		t.Fatal("idle connection survived its refreshed deadline")
+	}
+}
+
+// TestEnableWheelOnExistingTable: flipping wheel expiry on arms a timer
+// for every connection already in the table.
+func TestEnableWheelOnExistingTable(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ct := NewTable(eng)
+	ct.Timeouts.SynSent = 10 * sim.Millisecond
+	fillConns(ct, 1, 3)
+
+	ct.EnableWheelExpiry(true)
+	eng.RunUntil(30 * sim.Millisecond)
+	if ct.Len() != 0 || ct.Expired != 3 {
+		t.Fatalf("len=%d expired=%d, want all pre-existing connections wheel-expired",
+			ct.Len(), ct.Expired)
+	}
+}
+
+// TestWheelDisableStopsTimers: turning the wheel off leaves removal to
+// lookups and sweeps again, with no timer firing afterward.
+func TestWheelDisableStopsTimers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ct := NewTable(eng)
+	ct.Timeouts.SynSent = 10 * sim.Millisecond
+	ct.EnableWheelExpiry(true)
+	fillConns(ct, 1, 2)
+	ct.EnableWheelExpiry(false)
+
+	eng.RunUntil(30 * sim.Millisecond)
+	if ct.Len() != 2 {
+		t.Fatalf("len = %d with wheel off, want 2 (expiry back to lazy)", ct.Len())
+	}
+	if n := ct.Sweep(); n != 2 {
+		t.Fatalf("sweep removed %d, want 2", n)
+	}
+}

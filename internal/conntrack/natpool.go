@@ -1,0 +1,126 @@
+package conntrack
+
+// NAT port allocation. A NAT with a PortLo..PortHi range draws each
+// committed connection's translated port from a shared pool (one pool per
+// {kind, address, range}), the ct(nat(src=ip:lo-hi)) form. The interesting
+// design point is exhaustion: real deployments hit it constantly (one
+// public IP is 64k ports), and the failure mode must be deterministic —
+// never silent port reuse (which would cross-wire two connections'
+// replies), never a panic. The ladder here mirrors the table's: evict the
+// oldest non-established port holder to recycle its port (counted in both
+// Evicted and NATPortEvictions); if every holder is established, refuse
+// the commit (NATExhausted) — established connections keep their ports.
+
+type natPoolKey struct {
+	kind   NATKind
+	addr   uint32 // hdr.IP4 widened for the key
+	lo, hi uint16
+}
+
+// natPool tracks one {kind, address, port-range}'s allocations.
+type natPool struct {
+	lo, hi uint16
+	inUse  map[uint16]*Conn
+	// rotor is the next-fit scan start: ports are handed out in
+	// ascending wrap-around order, so allocation order is deterministic
+	// and freed ports are not immediately reused (minimizing accidental
+	// reply cross-wiring while a stale peer still holds table state).
+	rotor uint16
+	// Allocation-order list, oldest first, linked through poolPrev/Next:
+	// the eviction scan order.
+	head, tail *Conn
+}
+
+// allocNATPort reserves a port for c from nat's pool, evicting the oldest
+// non-established holder if the range is exhausted. It reports false (and
+// counts NATExhausted) when every port is held by an established
+// connection. c is not yet installed; on success its pool fields are set
+// and release happens in removeConn.
+func (t *Table) allocNATPort(c *Conn, nat NAT) (uint16, bool) {
+	key := natPoolKey{kind: nat.Kind, addr: uint32(nat.Addr), lo: nat.PortLo, hi: nat.PortHi}
+	pool := t.pools[key]
+	if pool == nil {
+		if t.pools == nil {
+			t.pools = make(map[natPoolKey]*natPool)
+		}
+		pool = &natPool{lo: nat.PortLo, hi: nat.PortHi, inUse: make(map[uint16]*Conn), rotor: nat.PortLo}
+		t.pools[key] = pool
+	}
+	port, ok := pool.alloc()
+	if !ok {
+		if v := pool.oldestEvictable(); v != nil {
+			t.removeConn(v)
+			t.Evicted++
+			t.NATPortEvictions++
+			port, ok = pool.alloc()
+		}
+	}
+	if !ok {
+		t.NATExhausted++
+		return 0, false
+	}
+	c.pool = pool
+	c.poolPort = port
+	pool.inUse[port] = c
+	pool.pushBack(c)
+	return port, true
+}
+
+// alloc scans next-fit from the rotor for a free port.
+func (p *natPool) alloc() (uint16, bool) {
+	span := int(p.hi) - int(p.lo) + 1
+	cand := p.rotor
+	for i := 0; i < span; i++ {
+		if _, used := p.inUse[cand]; !used {
+			if cand == p.hi {
+				p.rotor = p.lo
+			} else {
+				p.rotor = cand + 1
+			}
+			return cand, true
+		}
+		if cand == p.hi {
+			cand = p.lo
+		} else {
+			cand++
+		}
+	}
+	return 0, false
+}
+
+// oldestEvictable returns the oldest holder that is not established.
+func (p *natPool) oldestEvictable() *Conn {
+	for c := p.head; c != nil; c = c.poolNext {
+		if c.State != StateEstablished {
+			return c
+		}
+	}
+	return nil
+}
+
+func (p *natPool) pushBack(c *Conn) {
+	c.poolPrev = p.tail
+	c.poolNext = nil
+	if p.tail != nil {
+		p.tail.poolNext = c
+	} else {
+		p.head = c
+	}
+	p.tail = c
+}
+
+// release frees the connection's port and unlinks it from the pool.
+func (p *natPool) release(c *Conn) {
+	delete(p.inUse, c.poolPort)
+	if c.poolPrev != nil {
+		c.poolPrev.poolNext = c.poolNext
+	} else {
+		p.head = c.poolNext
+	}
+	if c.poolNext != nil {
+		c.poolNext.poolPrev = c.poolPrev
+	} else {
+		p.tail = c.poolPrev
+	}
+	c.pool, c.poolPrev, c.poolNext = nil, nil, nil
+}

@@ -1,0 +1,117 @@
+package conntrack
+
+import "sort"
+
+// DefaultShards is the shard count a fresh table starts with, matching the
+// "ct-shards" other_config default.
+const DefaultShards = 8
+
+// ctShard is one partition of the connection index. Real OVS (and the
+// kernel's nf_conntrack) partition the hash table so concurrent PMD
+// threads contend on bucket locks, not one table lock; the simulator is
+// single-goroutine per engine, so shards here model that partitioning —
+// each lookup touches exactly one shard, and the per-shard lookup counters
+// let scenarios verify the hot path never fans out — without needing
+// mutexes that virtual time would never contend.
+type ctShard struct {
+	conns   map[connKey]*Conn
+	lookups uint64
+}
+
+func (t *Table) initShards(n int) {
+	t.shards = make([]ctShard, n)
+	for i := range t.shards {
+		t.shards[i].conns = make(map[connKey]*Conn)
+	}
+}
+
+// tupleHash is a deterministic FNV-1a-style mix over the zone and tuple.
+// Determinism matters: shard placement feeds per-shard occupancy stats,
+// which appear in scenario output, so the hash must not vary by process
+// (no runtime map hashing, no seeds).
+func tupleHash(zone uint16, tu Tuple) uint32 {
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		h ^= v
+		h *= 16777619
+		h ^= h >> 15
+	}
+	mix(uint32(zone))
+	mix(uint32(tu.SrcIP))
+	mix(uint32(tu.DstIP))
+	mix(uint32(tu.Proto))
+	mix(uint32(tu.SrcPort)<<16 | uint32(tu.DstPort))
+	return h
+}
+
+func (t *Table) shardFor(zone uint16, tu Tuple) *ctShard {
+	return &t.shards[int(tupleHash(zone, tu)%uint32(len(t.shards)))]
+}
+
+// get looks the tuple up in its shard, counting the probe.
+func (t *Table) get(zone uint16, tu Tuple) (*Conn, bool) {
+	s := t.shardFor(zone, tu)
+	s.lookups++
+	c, ok := s.conns[connKey{zone, tu}]
+	return c, ok
+}
+
+// NumShards returns the current shard count.
+func (t *Table) NumShards() int { return len(t.shards) }
+
+// SetShards repartitions the index into n shards (n < 1 is clamped to 1).
+// Existing connections are rehashed; per-shard lookup counters reset.
+// Cold path: reconfiguration, not per-packet.
+func (t *Table) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n == len(t.shards) {
+		return
+	}
+	old := t.shards
+	t.initShards(n)
+	for i := range old {
+		for k, c := range old[i].conns {
+			t.shardFor(k.zone, k.tuple).conns[k] = c
+		}
+	}
+}
+
+// ShardSizes appends each shard's entry count (both directions counted) to
+// dst and returns it; pass a reused slice for allocation-free snapshots.
+func (t *Table) ShardSizes(dst []int) []int {
+	dst = dst[:0]
+	for i := range t.shards {
+		dst = append(dst, len(t.shards[i].conns))
+	}
+	return dst
+}
+
+// ShardLookups appends each shard's lookup count to dst and returns it.
+func (t *Table) ShardLookups(dst []uint64) []uint64 {
+	dst = dst[:0]
+	for i := range t.shards {
+		dst = append(dst, t.shards[i].lookups)
+	}
+	return dst
+}
+
+// ZoneConns is one zone's live-connection count for stats surfaces.
+type ZoneConns struct {
+	Zone  uint16
+	Conns int
+}
+
+// ConnsPerZone appends the per-zone live counts, sorted by zone, to dst
+// and returns it. Zones with no live connections are omitted.
+func (t *Table) ConnsPerZone(dst []ZoneConns) []ZoneConns {
+	dst = dst[:0]
+	for z, zs := range t.zones {
+		if zs.count > 0 {
+			dst = append(dst, ZoneConns{Zone: z, Conns: zs.count})
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Zone < dst[j].Zone })
+	return dst
+}

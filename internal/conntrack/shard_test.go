@@ -1,0 +1,116 @@
+package conntrack
+
+import (
+	"testing"
+
+	"ovsxdp/internal/packet/hdr"
+	"ovsxdp/internal/sim"
+)
+
+// fillConns commits n distinct TCP connections (varying source IP and
+// port) into zone and returns their original-direction tuples.
+func fillConns(ct *Table, zone uint16, n int) []Tuple {
+	tuples := make([]Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		src := hdr.MakeIP4(10, byte(i>>16), byte(i>>8), byte(i))
+		sport := uint16(1024 + i%40000)
+		p := tcpPkt(src, ipB, sport, 80, hdr.TCPSyn)
+		ct.Process(p, zone, true, NAT{})
+		tu, _ := TupleOf(p)
+		tuples = append(tuples, tu)
+	}
+	return tuples
+}
+
+// TestShardDistribution: the tuple hash must spread connections across
+// shards — no empty shard and none grossly over mean with a few thousand
+// entries.
+func TestShardDistribution(t *testing.T) {
+	ct := NewTable(sim.NewEngine(1))
+	const n = 4096
+	fillConns(ct, 1, n)
+
+	sizes := ct.ShardSizes(nil)
+	if len(sizes) != DefaultShards {
+		t.Fatalf("shards = %d, want %d", len(sizes), DefaultShards)
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	// Each connection is indexed under both directions.
+	if total != 2*n {
+		t.Fatalf("total indexed keys = %d, want %d", total, 2*n)
+	}
+	mean := total / len(sizes)
+	for i, s := range sizes {
+		if s == 0 {
+			t.Fatalf("shard %d empty", i)
+		}
+		if s > 2*mean || s < mean/2 {
+			t.Fatalf("shard %d holds %d keys, mean %d — hash imbalance", i, s, mean)
+		}
+	}
+}
+
+// TestSetShardsRepartition: changing the shard count must rehash every
+// entry with nothing lost, at any count including 1.
+func TestSetShardsRepartition(t *testing.T) {
+	ct := NewTable(sim.NewEngine(1))
+	const n = 512
+	tuples := fillConns(ct, 1, n)
+
+	for _, shards := range []int{32, 1, 8} {
+		ct.SetShards(shards)
+		if got := ct.NumShards(); got != shards {
+			t.Fatalf("NumShards = %d, want %d", got, shards)
+		}
+		if ct.Len() != n {
+			t.Fatalf("len = %d after SetShards(%d), want %d", ct.Len(), shards, n)
+		}
+		for _, tu := range tuples {
+			if _, ok := ct.Find(1, tu); !ok {
+				t.Fatalf("connection %s lost repartitioning to %d shards", tu, shards)
+			}
+			if _, ok := ct.Find(1, tu.Reverse()); !ok {
+				t.Fatalf("reply key of %s lost repartitioning to %d shards", tu, shards)
+			}
+		}
+	}
+}
+
+// TestShardLookupCounting: per-shard lookup counters must account for
+// every hash probe, and sum across shards regardless of the count.
+func TestShardLookupCounting(t *testing.T) {
+	ct := NewTable(sim.NewEngine(1))
+	ct.SetShards(1)
+	fillConns(ct, 1, 16)
+
+	before := ct.ShardLookups(nil)[0]
+	for i := 0; i < 50; i++ {
+		ct.Process(tcpPkt(hdr.MakeIP4(10, 0, 0, 0), ipB, 1024, 80, hdr.TCPAck), 1, false, NAT{})
+	}
+	after := ct.ShardLookups(nil)[0]
+	if after-before < 50 {
+		t.Fatalf("single shard counted %d lookups for 50 packets", after-before)
+	}
+}
+
+// TestConnsPerZone: the per-zone breakdown is sorted by zone and omits
+// empty zones.
+func TestConnsPerZone(t *testing.T) {
+	ct := NewTable(sim.NewEngine(1))
+	for i, zone := range []uint16{9, 2, 9, 2, 9} {
+		ct.Process(tcpPkt(ipA, ipB, uint16(2000+i), 80, hdr.TCPSyn), zone, true, NAT{})
+	}
+	got := ct.ConnsPerZone(nil)
+	want := []ZoneConns{{Zone: 2, Conns: 2}, {Zone: 9, Conns: 3}}
+	if len(got) != len(want) {
+		t.Fatalf("zones = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zones = %v, want %v", got, want)
+		}
+	}
+}

@@ -582,7 +582,12 @@ func (d *Datapath) execute(m *PMD, p *packet.Packet, actions []ofproto.DPAction,
 			if a.Commit {
 				m.charge(perf.StageActions, costmodel.ConntrackCommit-costmodel.ConntrackLookup)
 			}
+			ctRemovals := d.Ct.PressureRemovals()
 			d.Ct.Process(p, a.Zone, a.Commit, a.NAT)
+			if n := d.Ct.PressureRemovals() - ctRemovals; n > 0 {
+				m.charge(perf.StageActions, costmodel.ConntrackEvict*sim.Time(n))
+				m.Perf.CtEvictions += n
+			}
 			m.charge(perf.StageActions, costmodel.RecirculationOverhead)
 			p.RecircID = a.RecircID
 			d.Recirculations++

@@ -364,6 +364,10 @@ const (
 	// ConntrackCommit creates a new tracked connection.
 	ConntrackCommit sim.Time = 210
 
+	// ConntrackEvict displaces a connection under table pressure:
+	// LRU unlink, dual-direction hash removal, and NAT port release.
+	ConntrackEvict sim.Time = 300
+
 	// TunnelEncap is Geneve/VXLAN header push including outer header
 	// fill-in (route/ARP already cached).
 	TunnelEncap sim.Time = 110

@@ -66,6 +66,9 @@ var configSchema = map[string]configKeySpec{
 	"upcall-retry-base-us": {kind: kindMicroseconds, def: "0"},
 	"upcall-max-retries":   {kind: kindInt, def: "0"},
 	"negative-flow-ttl-us": {kind: kindMicroseconds, def: "10000"},
+
+	// Conntrack (all providers: both datapaths carry a tracker).
+	"ct-shards": {kind: kindInt, def: "8"},
 }
 
 // ConfigKeys lists every supported other_config key, sorted (CLI help,

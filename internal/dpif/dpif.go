@@ -14,6 +14,7 @@
 package dpif
 
 import (
+	"ovsxdp/internal/conntrack"
 	"ovsxdp/internal/dpcls"
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/ofproto"
@@ -88,6 +89,47 @@ type Stats struct {
 	// Processed counts fast-path packet passes, including recirculation.
 	Processed uint64
 	Flows     int
+
+	// Conntrack counters, straight from the provider's tracker; all stay
+	// zero while no flow carries a ct() action. CtTableFull counts
+	// commits refused at a zone's hard limit, CtEarlyDrops embryonic
+	// connections shed in the soft band, CtEvictions LRU emergency
+	// evictions (including NAT-port-exhaustion evictions), and
+	// CtNATExhausted commits refused with a NAT port range fully held
+	// by established connections.
+	CtConns        int
+	CtCreated      uint64
+	CtExpired      uint64
+	CtEarlyDrops   uint64
+	CtEvictions    uint64
+	CtTableFull    uint64
+	CtNATExhausted uint64
+	// ConnsPerZone lists live connections per nonempty zone, sorted by
+	// zone (nil when the tracker is idle). Note the slice makes Stats
+	// non-comparable: compare snapshots with reflect.DeepEqual.
+	ConnsPerZone []CtZoneConns
+}
+
+// CtZoneConns is one zone's live-connection count in Stats.
+type CtZoneConns struct {
+	Zone  uint16
+	Conns int
+}
+
+// fillCtStats copies the tracker's counters into a Stats snapshot; shared
+// by every provider so the conntrack surface cannot drift between them.
+func fillCtStats(s *Stats, t *conntrack.Table) {
+	c := t.Counters()
+	s.CtConns = c.Conns
+	s.CtCreated = c.Created
+	s.CtExpired = c.Expired
+	s.CtEarlyDrops = c.EarlyDrops
+	s.CtEvictions = c.Evicted
+	s.CtTableFull = c.TableFull
+	s.CtNATExhausted = c.NATExhausted
+	for _, z := range t.ConnsPerZone(nil) {
+		s.ConnsPerZone = append(s.ConnsPerZone, CtZoneConns{Zone: z.Zone, Conns: z.Conns})
+	}
 }
 
 // Dpif is one open datapath. All providers implement identical observable

@@ -208,6 +208,11 @@ func (d *Netdev) SetConfig(kv map[string]string) error {
 			dp.Opts.UpcallMaxRetries = v.(int)
 		case "negative-flow-ttl-us":
 			dp.Opts.NegativeFlowTTL = v.(sim.Time)
+		case "ct-shards":
+			if v.(int) < 1 {
+				return fmt.Errorf("dpif-netdev: ct-shards must be >= 1")
+			}
+			dp.Ct.SetShards(v.(int))
 		}
 		return nil
 	})
@@ -235,6 +240,7 @@ func (d *Netdev) GetConfig() map[string]string {
 		"upcall-retry-base-us":              renderMicros(dp.Opts.UpcallRetryBase),
 		"upcall-max-retries":                fmt.Sprintf("%d", dp.Opts.UpcallMaxRetries),
 		"negative-flow-ttl-us":              renderMicros(dp.Opts.NegativeFlowTTL),
+		"ct-shards":                         fmt.Sprintf("%d", dp.Ct.NumShards()),
 	}
 }
 
@@ -244,7 +250,7 @@ func (d *Netdev) PmdRxqShow() string { return d.dp.PmdRxqShow() }
 // Stats implements Dpif: hits combine every caching level a packet can
 // shortcut through — EMC, SMC, and the megaflow classifier.
 func (d *Netdev) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Hits:             d.dp.EMCHits + d.dp.SMCHits + d.dp.MegaflowHits,
 		SMCHits:          d.dp.SMCHits,
 		Missed:           d.dp.Upcalls,
@@ -254,6 +260,8 @@ func (d *Netdev) Stats() Stats {
 		Processed:        d.dp.Processed,
 		Flows:            d.dp.FlowCount(),
 	}
+	fillCtStats(&s, d.dp.Ct)
+	return s
 }
 
 // PerfStats implements Dpif: one counter block per PMD thread, named after

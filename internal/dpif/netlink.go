@@ -184,6 +184,11 @@ func (d *Netlink) SetConfig(kv map[string]string) error {
 			d.kdp.UpcallMaxRetries = v.(int)
 		case "negative-flow-ttl-us":
 			d.kdp.NegativeFlowTTL = v.(sim.Time)
+		case "ct-shards":
+			if v.(int) < 1 {
+				return fmt.Errorf("dpif-%s: ct-shards must be >= 1", d.Type())
+			}
+			d.kdp.Ct.SetShards(v.(int))
 		default:
 			d.netdevOnly[key] = kv[key]
 		}
@@ -206,6 +211,7 @@ func (d *Netlink) GetConfig() map[string]string {
 	out["upcall-retry-base-us"] = renderMicros(d.kdp.UpcallRetryBase)
 	out["upcall-max-retries"] = fmt.Sprintf("%d", d.kdp.UpcallMaxRetries)
 	out["negative-flow-ttl-us"] = renderMicros(d.kdp.NegativeFlowTTL)
+	out["ct-shards"] = fmt.Sprintf("%d", d.kdp.Ct.NumShards())
 	return out
 }
 
@@ -245,7 +251,7 @@ func (d *Netlink) EnableTrace(n int) { d.kdp.EnableTrace(n) }
 
 // Stats implements Dpif.
 func (d *Netlink) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Hits:             d.kdp.Hits,
 		Missed:           d.kdp.Misses,
 		Lost:             d.kdp.Drops,
@@ -254,4 +260,6 @@ func (d *Netlink) Stats() Stats {
 		Processed:        d.kdp.Processed,
 		Flows:            d.kdp.FlowCount(),
 	}
+	fillCtStats(&s, d.kdp.Ct)
+	return s
 }

@@ -42,6 +42,11 @@ const (
 	// KindRevalidatorStall wedges the revalidator: sweeps are skipped and
 	// idle megaflows age out late.
 	KindRevalidatorStall
+	// KindConntrackPressure clamps a conntrack zone's effective
+	// connection limit for the window, forcing the graceful-degradation
+	// ladder (embryonic early-drop, LRU eviction) to engage — memory
+	// pressure on the connection table, injectable on schedule.
+	KindConntrackPressure
 	numKinds
 )
 
@@ -58,6 +63,8 @@ func (k Kind) String() string {
 		return "upcall-failure"
 	case KindRevalidatorStall:
 		return "revalidator-stall"
+	case KindConntrackPressure:
+		return "conntrack-pressure"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -331,7 +331,12 @@ func (d *Datapath) execute(cpu *sim.CPU, p *packet.Packet, actions []ofproto.DPA
 			if a.Commit {
 				d.charge(cpu, sim.Softirq, perf.StageActions, d.cost(costmodel.ConntrackCommit-costmodel.ConntrackLookup))
 			}
+			ctRemovals := d.Ct.PressureRemovals()
 			d.Ct.Process(p, a.Zone, a.Commit, a.NAT)
+			if n := d.Ct.PressureRemovals() - ctRemovals; n > 0 {
+				d.charge(cpu, sim.Softirq, perf.StageActions, d.cost(costmodel.ConntrackEvict)*sim.Time(n))
+				d.Perf.CtEvictions += n
+			}
 			// Recirculate.
 			d.charge(cpu, sim.Softirq, perf.StageActions, d.cost(costmodel.RecirculationOverhead))
 			p.RecircID = a.RecircID

@@ -97,6 +97,11 @@ type Stats struct {
 	TxContended  uint64
 	TxLockCycles sim.Time
 
+	// CtEvictions counts connections this thread's conntrack commits
+	// displaced under pressure (early-dropped embryonic or LRU-evicted);
+	// stays zero until a zone limit ladder engages.
+	CtEvictions uint64
+
 	batch  *sim.Histogram // packets per non-empty rx batch
 	upcall *sim.Histogram // upcall handling latency (virtual ns)
 	tracer *Tracer        // optional packet-lifecycle ring
@@ -205,6 +210,9 @@ func FormatTable(threads []ThreadStats) string {
 		if s.TxContended > 0 {
 			fmt.Fprintf(&b, "  tx-xps: contended-pkts:%d lock-cycles:%d\n",
 				s.TxContended, s.TxLockCycles)
+		}
+		if s.CtEvictions > 0 {
+			fmt.Fprintf(&b, "  conntrack: pressure-evictions:%d\n", s.CtEvictions)
 		}
 		total := s.TotalCycles()
 		for st := StageRx; st < NumStages; st++ {

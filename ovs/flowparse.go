@@ -346,6 +346,22 @@ func parseNat(body string) (conntrack.NAT, error) {
 	}
 	nat.Addr = ip
 	if hasPort {
+		if loStr, hiStr, isRange := strings.Cut(portStr, "-"); isRange {
+			// "lo-hi" selects dynamic allocation from the range.
+			lo, err := parseUint(loStr, 16)
+			if err != nil {
+				return nat, err
+			}
+			hi, err := parseUint(hiStr, 16)
+			if err != nil {
+				return nat, err
+			}
+			if lo == 0 || hi < lo {
+				return nat, fmt.Errorf("ovs: bad nat port range %q", portStr)
+			}
+			nat.PortLo, nat.PortHi = uint16(lo), uint16(hi)
+			return nat, nil
+		}
 		n, err := parseUint(portStr, 16)
 		if err != nil {
 			return nat, err
