@@ -39,6 +39,8 @@ func main() {
 	churnscalePoints := flag.String("churnscale-points", "", "comma-separated churnscale points to run (default: all)")
 	connscaleOut := flag.String("connscale-out", "BENCH_connscale.json", "where -scenario connscale writes its JSON result")
 	connscalePoints := flag.String("connscale-points", "", "comma-separated connscale points to run (default: all)")
+	offloadOut := flag.String("offload-out", "BENCH_offload.json", "where -scenario offload writes its JSON result")
+	offloadPoints := flag.String("offload-points", "", "comma-separated offload points to run (default: all)")
 	flag.Func("o", "other_config key=value applied to every bed (repeatable, e.g. -o pmd-rxq-assign=cycles)", func(s string) error {
 		for i := 1; i < len(s); i++ {
 			if s[i] == '=' {
@@ -131,6 +133,15 @@ func main() {
 				}
 			}
 		}
+		if s.ID == "offload" {
+			experiments.OffloadJSONPath = *offloadOut
+			if *offloadPoints != "" {
+				experiments.OffloadOnly = map[string]bool{}
+				for _, p := range strings.Split(*offloadPoints, ",") {
+					experiments.OffloadOnly[strings.TrimSpace(p)] = true
+				}
+			}
+		}
 		start := time.Now()
 		rep := s.Run(profile)
 		fmt.Print(rep)
@@ -202,10 +213,11 @@ usage:
   ovsbench [-quick] -scenario simspeed [-simspeed-out f] [-simspeed-baseline f] [-simspeed-points a,b]
   ovsbench [-quick] -scenario churnscale [-churnscale-out f] [-churnscale-points a,b]
   ovsbench [-quick] -scenario connscale [-connscale-out f] [-connscale-points a,b]
+  ovsbench [-quick] -scenario offload [-offload-out f] [-offload-points a,b]
 
 experiments: fig1 fig2 fig8a fig8b fig8c fig9a fig9b fig9c fig10 fig11 fig12
              table1 table2 table3 table4 table5
-scenarios:   restart cachesweep churnscale connscale corescale simspeed
+scenarios:   restart cachesweep churnscale connscale corescale offload simspeed
 `)
 	flag.PrintDefaults()
 }

@@ -311,6 +311,13 @@ func dpctlStats(dpType string, cfg cliConfig) error {
 			pct(emc), pct(smcN), pct(mega), pct(up))
 	}
 	fmt.Printf("  flows: %d\n", st.Flows)
+	// The offload line appears only once the hardware flow table has seen
+	// use, so runs without hw-offload print unchanged.
+	if st.OffloadInstalls > 0 || st.OffloadHits > 0 {
+		fmt.Printf("  offload: hw-hits:%d installed:%d evicted:%d uninstalled:%d live:%d refused:%d readbacks:%d\n",
+			st.OffloadHits, st.OffloadInstalls, st.OffloadEvictions,
+			st.OffloadUninstalls, st.OffloadLive, st.OffloadRefused, st.OffloadReadbacks)
+	}
 	// Conntrack lines appear only once the tracker has seen a ct()
 	// action, so pipelines without connection tracking print unchanged.
 	if st.CtCreated > 0 || st.CtConns > 0 {

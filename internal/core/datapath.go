@@ -124,6 +124,10 @@ type Options struct {
 	// flush — the tx-side analog of the umempool O2/O3 toggles. It only
 	// matters when a port has fewer txqs than the datapath has PMDs.
 	TxLockMutex bool
+	// Offload configures the hardware flow-offload engine
+	// (other_config:hw-offload); the zero value disables it, so default
+	// runs schedule no offload events and stay byte-identical.
+	Offload OffloadOptions
 }
 
 // DefaultOptions returns the fully-optimized configuration (all of
@@ -176,6 +180,10 @@ type Datapath struct {
 	// created lazily so the zero datapath keeps working.
 	assign *assigner
 
+	// offload is the hardware flow-offload engine; nil until hw-offload is
+	// first enabled, so the default datapath carries no offload state.
+	offload *offloadEngine
+
 	// Stats.
 	Processed      uint64
 	EMCHits        uint64
@@ -195,6 +203,9 @@ type Datapath struct {
 	// MalformedDrops counts slow-path parse failures, split from policy
 	// drops (the kernel flow extractor's EINVAL analog).
 	MalformedDrops uint64
+	// OffloadHits counts packets the NIC forwarded from its hardware flow
+	// table, bypassing every software cache.
+	OffloadHits uint64
 }
 
 // NewDatapath builds a datapath over a pipeline.
@@ -215,6 +226,9 @@ func NewDatapath(eng *sim.Engine, pl *ofproto.Pipeline, opts Options) *Datapath 
 			thr = -1 // keep the default
 		}
 		d.ConfigureAutoLB(true, opts.AutoLBInterval, thr)
+	}
+	if opts.Offload.Enable {
+		d.ConfigureOffload(opts.Offload)
 	}
 	return d
 }
@@ -249,8 +263,13 @@ func (d *Datapath) ConfigureSMC(on bool, entries int) {
 	}
 }
 
-// FlushFlows clears every PMD's caches (revalidation after rule changes).
+// FlushFlows clears every PMD's caches (revalidation after rule changes)
+// and, with hw-offload on, the NIC flow table in the same pass — a flushed
+// hardware rule must never keep forwarding with the dropped actions.
 func (d *Datapath) FlushFlows() {
+	if d.offload != nil {
+		d.offload.flushAll()
+	}
 	for _, m := range d.pmds {
 		m.emc.Flush()
 		if m.smc != nil {
@@ -364,6 +383,7 @@ func (d *Datapath) installNegativeFlow(m *PMD, key flow.Key) {
 		if m.cls.Remove(e) {
 			m.InvalidateEMC(e)
 			m.InvalidateSMC(e)
+			d.OffloadUninstall(e)
 		}
 	})
 }
@@ -417,6 +437,22 @@ func (d *Datapath) processCounted(m *PMD, p *packet.Packet, depth int, count boo
 				tr.Add(rec)
 				m.trace = nil
 			}()
+		}
+	}
+
+	// Hardware flow-table match: the NIC forwards offloaded flows itself,
+	// so the packet bypasses metadata, checksum, parse, and every software
+	// cache, paying only the near-zero host-side bookkeeping. Recirculated
+	// packets (depth > 0) are already on the host and stay there.
+	if depth == 0 && d.offload != nil && d.offload.on {
+		if e, ok := d.offload.hwLookup(p); ok {
+			m.charge(perf.StageOffload, costmodel.OffloadHit)
+			d.OffloadHits++
+			m.Perf.OffloadHits++
+			m.traceResolved(perf.ResultOffload)
+			actions, _ := e.Actions.([]ofproto.DPAction)
+			d.hwForward(m, p, actions)
+			return
 		}
 	}
 
@@ -493,6 +529,13 @@ func (d *Datapath) processCounted(m *PMD, p *packet.Packet, depth int, count boo
 		d.Drops++
 		p.Release()
 		return
+	}
+	// Elephant install: a software hit on a flow the offload engine marked
+	// means this exact key is not yet in hardware (a resident key would
+	// have short-circuited above) — push it down now. One byte compare on
+	// the default path.
+	if e.OffloadMark != 0 && depth == 0 && d.offload != nil {
+		d.offload.installFor(key, e)
 	}
 	d.execute(m, p, actions, depth)
 }

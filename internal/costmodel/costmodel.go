@@ -424,6 +424,50 @@ const (
 )
 
 // ---------------------------------------------------------------------------
+// Hardware flow offload (tc/ASAP²-style megaflow offload): established
+// flows matched in the NIC's rule memory bypass the PMD's cache hierarchy
+// entirely; the host only pays for rule installs and counter readback,
+// both on the offload driver thread.
+// ---------------------------------------------------------------------------
+const (
+	// OffloadHit is the host-side cost of a packet the NIC forwarded from
+	// its hardware flow table: descriptor bookkeeping only — no metadata
+	// init, no checksum, no parse, no cache probe. Near-zero by design;
+	// the Mpps headline of the offload scenario is this constant against
+	// the ~100 ns software fast path.
+	OffloadHit sim.Time = 2
+
+	// OffloadInstall is the driver round trip programming one hardware
+	// flow rule (the tc-offload add), charged to the offload engine's
+	// thread, never the PMD.
+	OffloadInstall sim.Time = 12 * sim.Microsecond
+
+	// OffloadReadbackPerFlow is the per-rule cost of the periodic counter
+	// readback sweep that merges hardware hit counts into megaflow stats.
+	OffloadReadbackPerFlow sim.Time = 40
+
+	// OffloadTableSize is the default hardware rule-table capacity
+	// (other_config:hw-offload-table-size): thousands of rules, as in
+	// real SmartNIC rule memories — far below megaflow table sizes.
+	OffloadTableSize = 2048
+
+	// OffloadElephantPPS is the default EWMA packet rate above which a
+	// megaflow is classed an elephant and pushed to hardware
+	// (other_config:hw-offload-elephant-pps).
+	OffloadElephantPPS = 100_000
+
+	// OffloadReadbackInterval is the default counter-readback period
+	// (other_config:hw-offload-readback-us). It must stay well under the
+	// revalidator idle timeout, or hardware-hot flows would look idle to
+	// the software stats and be evicted mid-flight.
+	OffloadReadbackInterval sim.Time = 1 * sim.Millisecond
+
+	// OffloadEWMAWeightPct is the default weight (percent) the rate EWMA
+	// gives the newest readback interval.
+	OffloadEWMAWeightPct = 50
+)
+
+// ---------------------------------------------------------------------------
 // Multi-PMD scaling: rxq auto-load-balancing and transmit-side XPS (OVS's
 // pmd-auto-lb and static txq assignment with locked shared txqs).
 // ---------------------------------------------------------------------------

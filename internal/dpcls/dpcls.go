@@ -30,8 +30,18 @@ type Entry struct {
 	// classifier does not interpret it.
 	Actions any
 
-	// Hits counts packets matched, for revalidator heuristics.
+	// Hits counts packets matched, for revalidator heuristics. With
+	// hardware offload enabled, the periodic counter readback merges
+	// hardware matches in here too, so offloaded flows keep looking alive
+	// to the revalidator and the cache aliveness checks.
 	Hits uint64
+
+	// OffloadMark is the hardware-offload engine's per-flow flag: nonzero
+	// while the engine classes this megaflow an elephant whose exact keys
+	// should be pushed to the NIC. The classifier itself never reads it;
+	// it lives here so the per-packet elephant check is one field load
+	// instead of a map probe.
+	OffloadMark uint8
 
 	// dead marks an entry no longer installed in any classifier. Caches
 	// that hold *Entry pointers (the EMC) consult it lazily on lookup

@@ -69,6 +69,15 @@ var configSchema = map[string]configKeySpec{
 
 	// Conntrack (all providers: both datapaths carry a tracker).
 	"ct-shards": {kind: kindInt, def: "8"},
+
+	// Hardware flow offload (netdev only: the kernel-path providers'
+	// simulated NICs expose no flow table, so the keys validate but stay
+	// inert there, like OVS's hw-offload on an incapable device).
+	"hw-offload":              {kind: kindBool, def: "false", netdevOnly: true},
+	"hw-offload-table-size":   {kind: kindInt, def: "2048", netdevOnly: true},
+	"hw-offload-elephant-pps": {kind: kindInt, def: "100000", netdevOnly: true},
+	"hw-offload-readback-us":  {kind: kindMicroseconds, def: "1000", netdevOnly: true},
+	"hw-offload-ewma-weight":  {kind: kindInt, def: "50", netdevOnly: true},
 }
 
 // ConfigKeys lists every supported other_config key, sorted (CLI help,

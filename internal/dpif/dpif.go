@@ -90,6 +90,19 @@ type Stats struct {
 	Processed uint64
 	Flows     int
 
+	// Hardware-offload counters (other_config:hw-offload); all stay zero
+	// on the kernel-path providers, whose simulated NICs expose no flow
+	// table, and on netdev with offload off. OffloadInstalls ==
+	// OffloadEvictions + OffloadUninstalls + OffloadLive at every snapshot
+	// (the conservation ledger).
+	OffloadHits       uint64
+	OffloadInstalls   uint64
+	OffloadEvictions  uint64
+	OffloadUninstalls uint64
+	OffloadRefused    uint64
+	OffloadReadbacks  uint64
+	OffloadLive       int
+
 	// Conntrack counters, straight from the provider's tracker; all stay
 	// zero while no flow carries a ct() action. CtTableFull counts
 	// commits refused at a zone's hard limit, CtEarlyDrops embryonic

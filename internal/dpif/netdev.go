@@ -116,6 +116,7 @@ func (d *Netdev) FlowDel(f Flow) bool {
 	}
 	m.InvalidateEMC(f.Entry)
 	m.InvalidateSMC(f.Entry)
+	d.dp.OffloadUninstall(f.Entry)
 	return true
 }
 
@@ -213,6 +214,38 @@ func (d *Netdev) SetConfig(kv map[string]string) error {
 				return fmt.Errorf("dpif-netdev: ct-shards must be >= 1")
 			}
 			dp.Ct.SetShards(v.(int))
+		case "hw-offload":
+			o := dp.Opts.Offload
+			o.Enable = v.(bool)
+			dp.ConfigureOffload(o)
+		case "hw-offload-table-size":
+			if v.(int) < 1 {
+				return fmt.Errorf("dpif-netdev: hw-offload-table-size must be >= 1")
+			}
+			o := dp.Opts.Offload
+			o.TableSize = v.(int)
+			dp.ConfigureOffload(o)
+		case "hw-offload-elephant-pps":
+			if v.(int) < 1 {
+				return fmt.Errorf("dpif-netdev: hw-offload-elephant-pps must be >= 1")
+			}
+			o := dp.Opts.Offload
+			o.ElephantPPS = v.(int)
+			dp.ConfigureOffload(o)
+		case "hw-offload-readback-us":
+			if v.(sim.Time) <= 0 {
+				return fmt.Errorf("dpif-netdev: hw-offload-readback-us must be positive")
+			}
+			o := dp.Opts.Offload
+			o.ReadbackInterval = v.(sim.Time)
+			dp.ConfigureOffload(o)
+		case "hw-offload-ewma-weight":
+			if v.(int) < 1 || v.(int) > 100 {
+				return fmt.Errorf("dpif-netdev: hw-offload-ewma-weight must be in 1..100")
+			}
+			o := dp.Opts.Offload
+			o.EWMAWeightPct = v.(int)
+			dp.ConfigureOffload(o)
 		}
 		return nil
 	})
@@ -224,6 +257,7 @@ func (d *Netdev) SetConfig(kv map[string]string) error {
 func (d *Netdev) GetConfig() map[string]string {
 	dp := d.dp
 	interval, threshold := dp.AutoLBSettings()
+	off := dp.OffloadSettings()
 	return map[string]string{
 		"pmd-rxq-assign":                    dp.AssignPolicyInEffect().String(),
 		"pmd-auto-lb":                       renderBool(dp.AutoLBEnabled()),
@@ -241,6 +275,11 @@ func (d *Netdev) GetConfig() map[string]string {
 		"upcall-max-retries":                fmt.Sprintf("%d", dp.Opts.UpcallMaxRetries),
 		"negative-flow-ttl-us":              renderMicros(dp.Opts.NegativeFlowTTL),
 		"ct-shards":                         fmt.Sprintf("%d", dp.Ct.NumShards()),
+		"hw-offload":                        renderBool(off.Enable),
+		"hw-offload-table-size":             fmt.Sprintf("%d", off.TableSize),
+		"hw-offload-elephant-pps":           fmt.Sprintf("%d", off.ElephantPPS),
+		"hw-offload-readback-us":            renderMicros(off.ReadbackInterval),
+		"hw-offload-ewma-weight":            fmt.Sprintf("%d", off.EWMAWeightPct),
 	}
 }
 
@@ -260,6 +299,14 @@ func (d *Netdev) Stats() Stats {
 		Processed:        d.dp.Processed,
 		Flows:            d.dp.FlowCount(),
 	}
+	off := d.dp.OffloadStats()
+	s.OffloadHits = off.Hits
+	s.OffloadInstalls = off.Installs
+	s.OffloadEvictions = off.Evictions
+	s.OffloadUninstalls = off.Uninstalls
+	s.OffloadRefused = off.Refused
+	s.OffloadReadbacks = off.Readbacks
+	s.OffloadLive = off.Live
 	fillCtStats(&s, d.dp.Ct)
 	return s
 }

@@ -51,7 +51,7 @@ func TestSteadyStatePMDLoopZeroAlloc(t *testing.T) {
 // nondeterministic (e.g. a map-iteration dependence in the event wheel or
 // the arenas). simspeed is excluded: its headline numbers are wall-clock.
 func TestScenariosSameSeedByteIdentical(t *testing.T) {
-	for _, id := range []string{"restart", "cachesweep", "corescale", "churnscale", "connscale"} {
+	for _, id := range []string{"restart", "cachesweep", "corescale", "churnscale", "connscale", "offload"} {
 		sc, ok := GetScenario(id)
 		if !ok {
 			t.Fatalf("scenario %s not registered", id)

@@ -47,6 +47,11 @@ const (
 	// ladder (embryonic early-drop, LRU eviction) to engage — memory
 	// pressure on the connection table, injectable on schedule.
 	KindConntrackPressure
+	// KindOffloadTablePressure clamps the NIC hardware flow table's
+	// effective capacity for the window, force-evicting offloaded rules —
+	// firmware rule-memory pressure (shared with other offload consumers),
+	// injectable on schedule. Traffic falls back to the software path.
+	KindOffloadTablePressure
 	numKinds
 )
 
@@ -65,6 +70,8 @@ func (k Kind) String() string {
 		return "revalidator-stall"
 	case KindConntrackPressure:
 		return "conntrack-pressure"
+	case KindOffloadTablePressure:
+		return "offload-table-pressure"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

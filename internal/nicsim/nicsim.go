@@ -50,6 +50,25 @@ type SteeringRule struct {
 	Queue   int
 }
 
+// MaxSteeringRules bounds the ntuple rule memory, as real filter tables do
+// (ethtool -u reports the size); appends past it are errors, not silent
+// growth.
+const MaxSteeringRules = 1024
+
+// ntupleKey indexes a fully-specified steering rule for O(1) dispatch.
+type ntupleKey struct {
+	proto hdr.IPProto
+	port  uint16
+}
+
+// steeringEntry is an installed rule plus its insertion sequence, which
+// preserves evaluate-in-insertion-order semantics across the exact index
+// and the wildcard list.
+type steeringEntry struct {
+	rule SteeringRule
+	seq  int
+}
+
 // Queue is one hardware receive queue.
 type Queue struct {
 	ID int
@@ -122,7 +141,14 @@ type NIC struct {
 	eng      *sim.Engine
 	queues   []*Queue
 	rssBasis uint32
-	ntuple   []SteeringRule
+	// ntupleExact indexes fully-specified (proto, port) rules by tuple
+	// hash — O(1) per packet however many rules are installed. Rules with
+	// a wildcard field stay in ntupleWild, scanned in insertion order;
+	// ntupleSeq numbers installs so first-match semantics hold across
+	// both structures.
+	ntupleExact map[ntupleKey]steeringEntry
+	ntupleWild  []steeringEntry
+	ntupleSeq   int
 	// rssTable is the RSS indirection table (ethtool -X): the hash
 	// selects a slot, the slot names the queue. nil keeps the identity
 	// spread hash%queues — provably the same mapping as a table with
@@ -198,13 +224,71 @@ func (n *NIC) NumQueues() int { return len(n.queues) }
 func (n *NIC) Queue(i int) *Queue { return n.queues[i] }
 
 // AddSteeringRule installs a hardware ntuple rule; rules are evaluated in
-// insertion order before RSS.
+// insertion order before RSS. A rule whose match tuple duplicates an
+// installed rule is rejected (hardware filter slots hold one rule per
+// tuple), as is a rule past the table bound or targeting a queue the NIC
+// does not have.
 func (n *NIC) AddSteeringRule(r SteeringRule) error {
 	if r.Queue < 0 || r.Queue >= len(n.queues) {
 		return fmt.Errorf("nicsim: steering rule targets queue %d of %d", r.Queue, len(n.queues))
 	}
-	n.ntuple = append(n.ntuple, r)
+	if n.steeringRules() >= MaxSteeringRules {
+		return fmt.Errorf("nicsim: steering rule table full (%d rules)", MaxSteeringRules)
+	}
+	if _, ok := n.findSteeringRule(r.Proto, r.DstPort); ok {
+		return fmt.Errorf("nicsim: duplicate steering rule for proto=%d dst-port=%d", r.Proto, r.DstPort)
+	}
+	e := steeringEntry{rule: r, seq: n.ntupleSeq}
+	n.ntupleSeq++
+	if r.Proto != 0 && r.DstPort != 0 {
+		if n.ntupleExact == nil {
+			n.ntupleExact = make(map[ntupleKey]steeringEntry)
+		}
+		n.ntupleExact[ntupleKey{r.Proto, r.DstPort}] = e
+	} else {
+		n.ntupleWild = append(n.ntupleWild, e)
+	}
 	return nil
+}
+
+// RemoveSteeringRule deletes the installed rule with the given match tuple
+// (the ethtool --config-ntuple delete analog); removal is by match, so the
+// Queue field is ignored. Removing a rule that is not installed is an
+// error.
+func (n *NIC) RemoveSteeringRule(proto hdr.IPProto, dstPort uint16) error {
+	if proto != 0 && dstPort != 0 {
+		if _, ok := n.ntupleExact[ntupleKey{proto, dstPort}]; !ok {
+			return fmt.Errorf("nicsim: no steering rule for proto=%d dst-port=%d", proto, dstPort)
+		}
+		delete(n.ntupleExact, ntupleKey{proto, dstPort})
+		return nil
+	}
+	for i, e := range n.ntupleWild {
+		if e.rule.Proto == proto && e.rule.DstPort == dstPort {
+			n.ntupleWild = append(n.ntupleWild[:i], n.ntupleWild[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("nicsim: no steering rule for proto=%d dst-port=%d", proto, dstPort)
+}
+
+// steeringRules counts installed ntuple rules.
+func (n *NIC) steeringRules() int { return len(n.ntupleExact) + len(n.ntupleWild) }
+
+// findSteeringRule locates an installed rule by its exact match tuple.
+func (n *NIC) findSteeringRule(proto hdr.IPProto, dstPort uint16) (SteeringRule, bool) {
+	if proto != 0 && dstPort != 0 {
+		if e, ok := n.ntupleExact[ntupleKey{proto, dstPort}]; ok {
+			return e.rule, true
+		}
+		return SteeringRule{}, false
+	}
+	for _, e := range n.ntupleWild {
+		if e.rule.Proto == proto && e.rule.DstPort == dstPort {
+			return e.rule, true
+		}
+	}
+	return SteeringRule{}, false
 }
 
 // ConnectWire attaches the function that receives transmitted packets (the
@@ -220,15 +304,33 @@ func (n *NIC) ConnectWire(fn func(*packet.Packet)) {
 // delivering it.
 func (n *NIC) classify(p *packet.Packet) *Queue {
 	key := flow.Extract(p)
-	f := key.Unpack()
-	for _, r := range n.ntuple {
-		if r.Proto != 0 && r.Proto != f.IPProto {
-			continue
+	if n.steeringRules() > 0 {
+		f := key.Unpack()
+		// The fully-specified rule, if any, in one map probe; then the
+		// wildcard list in insertion order, stopping once no wildcard rule
+		// can predate the exact match. First match (lowest sequence) wins,
+		// exactly as the linear scan over a single list did.
+		bestSeq := -1
+		bestQueue := 0
+		if e, ok := n.ntupleExact[ntupleKey{f.IPProto, f.TPDst}]; ok {
+			bestSeq, bestQueue = e.seq, e.rule.Queue
 		}
-		if r.DstPort != 0 && r.DstPort != f.TPDst {
-			continue
+		for _, e := range n.ntupleWild {
+			if bestSeq >= 0 && e.seq > bestSeq {
+				break
+			}
+			if e.rule.Proto != 0 && e.rule.Proto != f.IPProto {
+				continue
+			}
+			if e.rule.DstPort != 0 && e.rule.DstPort != f.TPDst {
+				continue
+			}
+			bestSeq, bestQueue = e.seq, e.rule.Queue
+			break
 		}
-		return n.queues[r.Queue]
+		if bestSeq >= 0 {
+			return n.queues[bestQueue]
+		}
 	}
 	h := flow.RSSHash(key)
 	if n.Offloads.RSSHashDeliver {

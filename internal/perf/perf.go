@@ -30,6 +30,10 @@ type Stage int
 // Datapath stages.
 const (
 	StageRx Stage = iota
+	// StageOffload is the hardware-offload short-circuit: packets the NIC
+	// forwarded from its flow table, charged only the near-zero host-side
+	// bookkeeping. Zero unless hw-offload is enabled.
+	StageOffload
 	StageEMC
 	StageSMC
 	StageDpcls
@@ -44,6 +48,8 @@ func (s Stage) String() string {
 	switch s {
 	case StageRx:
 		return "rx"
+	case StageOffload:
+		return "offload"
 	case StageEMC:
 		return "emc"
 	case StageSMC:
@@ -80,6 +86,10 @@ type Stats struct {
 	SMCHits      uint64
 	MegaflowHits uint64
 	Upcalls      uint64
+	// OffloadHits counts packets the NIC forwarded from its hardware flow
+	// table — resolved above every software cache. Zero unless hw-offload
+	// is enabled.
+	OffloadHits uint64
 
 	// UpcallQueueDrops counts packets this thread dropped because its
 	// bounded upcall queue was full (the netdev analog of the kernel's
@@ -214,8 +224,16 @@ func FormatTable(threads []ThreadStats) string {
 		if s.CtEvictions > 0 {
 			fmt.Fprintf(&b, "  conntrack: pressure-evictions:%d\n", s.CtEvictions)
 		}
+		if s.OffloadHits > 0 {
+			fmt.Fprintf(&b, "  offload: hw-hits:%d\n", s.OffloadHits)
+		}
 		total := s.TotalCycles()
 		for st := StageRx; st < NumStages; st++ {
+			// The offload stage only exists when hw-offload is on; keep
+			// the table byte-identical for every run without it.
+			if st == StageOffload && s.Cycles[st] == 0 && s.OffloadHits == 0 {
+				continue
+			}
 			pct := 0.0
 			if total > 0 {
 				pct = 100 * float64(s.Cycles[st]) / float64(total)

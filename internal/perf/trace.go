@@ -14,6 +14,7 @@ type Result int
 // Resolution levels.
 const (
 	ResultNone Result = iota // not resolved (still in flight / dropped early)
+	ResultOffload
 	ResultEMC
 	ResultSMC
 	ResultMegaflow
@@ -24,6 +25,8 @@ const (
 // String names the level.
 func (r Result) String() string {
 	switch r {
+	case ResultOffload:
+		return "offload"
 	case ResultEMC:
 		return "emc"
 	case ResultSMC:
