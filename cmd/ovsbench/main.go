@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"ovsxdp/internal/api"
 	"ovsxdp/internal/dpif"
 	"ovsxdp/internal/experiments"
 )
@@ -42,16 +43,15 @@ func main() {
 	offloadOut := flag.String("offload-out", "BENCH_offload.json", "where -scenario offload writes its JSON result")
 	offloadPoints := flag.String("offload-points", "", "comma-separated offload points to run (default: all)")
 	flag.Func("o", "other_config key=value applied to every bed (repeatable, e.g. -o pmd-rxq-assign=cycles)", func(s string) error {
-		for i := 1; i < len(s); i++ {
-			if s[i] == '=' {
-				if experiments.DefaultOther == nil {
-					experiments.DefaultOther = map[string]string{}
-				}
-				experiments.DefaultOther[s[:i]] = s[i+1:]
-				return nil
-			}
+		k, v, err := api.ParseConfigArg(s)
+		if err != nil {
+			return err
 		}
-		return fmt.Errorf("expected key=value, got %q", s)
+		if experiments.DefaultOther == nil {
+			experiments.DefaultOther = map[string]string{}
+		}
+		experiments.DefaultOther[k] = v
+		return nil
 	})
 	flag.Usage = usage
 	flag.Parse()
@@ -214,10 +214,11 @@ usage:
   ovsbench [-quick] -scenario churnscale [-churnscale-out f] [-churnscale-points a,b]
   ovsbench [-quick] -scenario connscale [-connscale-out f] [-connscale-points a,b]
   ovsbench [-quick] -scenario offload [-offload-out f] [-offload-points a,b]
+  ovsbench [-quick] -scenario soak
 
 experiments: fig1 fig2 fig8a fig8b fig8c fig9a fig9b fig9c fig10 fig11 fig12
              table1 table2 table3 table4 table5
-scenarios:   restart cachesweep churnscale connscale corescale offload simspeed
+scenarios:   restart cachesweep churnscale connscale corescale offload simspeed soak
 `)
 	flag.PrintDefaults()
 }

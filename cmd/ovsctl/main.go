@@ -38,6 +38,7 @@ import (
 	"os"
 	"sort"
 
+	"ovsxdp/internal/api"
 	"ovsxdp/internal/core"
 	"ovsxdp/internal/dpif"
 	"ovsxdp/internal/faultinject"
@@ -75,7 +76,7 @@ func main() {
 	emcProb := flag.Int("emc-prob", 1, "inverse EMC insertion probability: insert with probability 1/N (emc-insert-inv-prob analog)")
 	other := map[string]string{}
 	flag.Func("o", "other_config key=value applied at open (repeatable; `ovsctl get` lists keys)", func(s string) error {
-		k, v, err := splitKV(s)
+		k, v, err := api.ParseConfigArg(s)
 		if err != nil {
 			return err
 		}
@@ -127,19 +128,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ovsctl:", err)
 		os.Exit(1)
 	}
-}
-
-// splitKV parses one "key=value" argument.
-func splitKV(s string) (string, string, error) {
-	for i := 0; i < len(s); i++ {
-		if s[i] == '=' {
-			if i == 0 {
-				break
-			}
-			return s[:i], s[i+1:], nil
-		}
-	}
-	return "", "", fmt.Errorf("expected key=value, got %q", s)
 }
 
 // env is the in-process switch: engine, datapath (via the dpif registry),
@@ -264,15 +252,10 @@ func dumpFlows(dpType string, cfg cliConfig) error {
 		return err
 	}
 	e.inject(8)
-	flows := e.dp.FlowDump()
-	fmt.Printf("%d flow(s) in datapath %s:\n", len(flows), e.dp.Type())
-	lines := make([]string, 0, len(flows))
-	for _, f := range flows {
-		lines = append(lines, f.Entry.String())
-	}
-	sort.Strings(lines)
-	for _, l := range lines {
-		fmt.Println("  " + l)
+	views := api.NewFlowViews(e.dp.FlowDump())
+	fmt.Printf("%d flow(s) in datapath %s:\n", len(views), e.dp.Type())
+	for _, v := range views {
+		fmt.Println("  " + v.Text)
 	}
 	return nil
 }
@@ -288,47 +271,8 @@ func dpctlStats(dpType string, cfg cliConfig) error {
 		return err
 	}
 	e.inject(8)
-	st := e.dp.Stats()
-	fmt.Printf("%s@br-int:\n", e.dp.Type())
-	fmt.Printf("  lookups: hit:%d missed:%d lost:%d\n", st.Hits, st.Missed, st.Lost)
-	fmt.Printf("  slow path: processed:%d queue-drops:%d malformed:%d\n",
-		st.Processed, st.UpcallQueueDrops, st.MalformedDrops)
-
-	// Per-layer hit rates, summed across processing threads: the share of
-	// packets resolved at each level of the cache hierarchy. The kernel
-	// paths have no EMC/SMC, so everything lands on megaflow/upcall there.
-	var emc, smcN, mega, up, pkts uint64
-	for _, th := range e.dp.PerfStats() {
-		emc += th.EMCHits
-		smcN += th.SMCHits
-		mega += th.MegaflowHits
-		up += th.Upcalls
-		pkts += th.Packets
-	}
-	if pkts > 0 {
-		pct := func(n uint64) float64 { return 100 * float64(n) / float64(pkts) }
-		fmt.Printf("  cache hierarchy: emc:%.1f%% smc:%.1f%% megaflow:%.1f%% upcall:%.1f%%\n",
-			pct(emc), pct(smcN), pct(mega), pct(up))
-	}
-	fmt.Printf("  flows: %d\n", st.Flows)
-	// The offload line appears only once the hardware flow table has seen
-	// use, so runs without hw-offload print unchanged.
-	if st.OffloadInstalls > 0 || st.OffloadHits > 0 {
-		fmt.Printf("  offload: hw-hits:%d installed:%d evicted:%d uninstalled:%d live:%d refused:%d readbacks:%d\n",
-			st.OffloadHits, st.OffloadInstalls, st.OffloadEvictions,
-			st.OffloadUninstalls, st.OffloadLive, st.OffloadRefused, st.OffloadReadbacks)
-	}
-	// Conntrack lines appear only once the tracker has seen a ct()
-	// action, so pipelines without connection tracking print unchanged.
-	if st.CtCreated > 0 || st.CtConns > 0 {
-		fmt.Printf("  conntrack: conns:%d created:%d expired:%d early-drop:%d evicted:%d table-full:%d nat-exhausted:%d\n",
-			st.CtConns, st.CtCreated, st.CtExpired, st.CtEarlyDrops,
-			st.CtEvictions, st.CtTableFull, st.CtNATExhausted)
-		for _, z := range st.ConnsPerZone {
-			fmt.Printf("    zone %d: %d conns\n", z.Zone, z.Conns)
-		}
-	}
-	fmt.Printf("  ports: %d\n", e.dp.PortCount())
+	v := api.NewStatsView(e.dp.Type(), e.dp.Stats(), e.dp.PerfStats(), e.dp.PortCount())
+	fmt.Print(v.FormatDpctl(fmt.Sprintf("%s@br-int", v.Type)))
 	return nil
 }
 
@@ -421,13 +365,9 @@ func setConfig(dpType string, cfg cliConfig, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("set: need at least one key=value argument")
 	}
-	kv := map[string]string{}
-	for _, a := range args {
-		k, v, err := splitKV(a)
-		if err != nil {
-			return err
-		}
-		kv[k] = v
+	kv, err := api.ParseConfigArgs(args)
+	if err != nil {
+		return err
 	}
 	e, err := newEnv(dpType, cfg)
 	if err != nil {
@@ -457,7 +397,7 @@ func getConfig(dpType string, cfg cliConfig, args []string) error {
 	}
 	eff := e.daemon.OtherConfig()
 	if len(args) == 0 {
-		fmt.Print(dpif.FormatConfig(eff))
+		fmt.Print(api.NewConfigView(eff).Format())
 		return nil
 	}
 	for _, k := range args {

@@ -1,0 +1,36 @@
+package api
+
+import "fmt"
+
+// ParseConfigArg splits one ovs-vsctl-style "key=value" argument. The error
+// text is shared verbatim by every surface that accepts config arguments
+// (`ovsctl -o`/`set`, `ovsbench -o`, and the daemon's PUT /v1/config), so a
+// malformed pair reads identically everywhere.
+func ParseConfigArg(s string) (key, value string, err error) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '=' {
+			if i == 0 {
+				break
+			}
+			return s[:i], s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("expected key=value, got %q", s)
+}
+
+// ParseConfigArgs collects "key=value" arguments into an other_config map.
+// Later duplicates win, matching flag repetition semantics. Validation
+// against the key schema is the datapath's job (dpif.CheckConfig /
+// Dpif.SetConfig), so unknown-key errors also surface identically on every
+// path that applies the returned map.
+func ParseConfigArgs(args []string) (map[string]string, error) {
+	kv := make(map[string]string, len(args))
+	for _, a := range args {
+		k, v, err := ParseConfigArg(a)
+		if err != nil {
+			return nil, err
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}

@@ -1,0 +1,156 @@
+package api
+
+import (
+	"fmt"
+	"strings"
+
+	"ovsxdp/internal/perf"
+	"ovsxdp/internal/sim"
+)
+
+// StageCycles is one datapath stage's row in a thread's perf view: the
+// virtual cycles charged, their share of the thread's total, and the cost
+// amortized over processed packets.
+type StageCycles struct {
+	Stage     string  `json:"stage"`
+	Cycles    int64   `json:"cycles"`
+	Pct       float64 `json:"pct"`
+	PerPacket float64 `json:"per_packet"`
+}
+
+// UpcallLatencyView summarizes a thread's upcall handling latency in
+// microseconds of virtual time.
+type UpcallLatencyView struct {
+	Count int     `json:"count"`
+	P50us float64 `json:"p50_us"`
+	P90us float64 `json:"p90_us"`
+	P99us float64 `json:"p99_us"`
+}
+
+// ThreadPerfView is one packet-processing thread's counters — a PMD on the
+// userspace datapath, the softirq context on the kernel paths. Optional
+// blocks (upcall queue, tx contention, conntrack pressure, offload) carry
+// the same appears-once-used rule the text table has always applied, so
+// their presence in JSON mirrors their presence in the rendered output.
+type ThreadPerfView struct {
+	Name       string  `json:"name"`
+	Iterations uint64  `json:"iterations"`
+	Packets    uint64  `json:"packets"`
+	AvgBatch   float64 `json:"avg_batch"`
+
+	EMCHits      uint64 `json:"emc_hits"`
+	SMCHits      uint64 `json:"smc_hits"`
+	MegaflowHits uint64 `json:"megaflow_hits"`
+	Upcalls      uint64 `json:"upcalls"`
+
+	UpcallQueuePeak  uint64 `json:"upcall_queue_peak,omitempty"`
+	UpcallQueueDrops uint64 `json:"upcall_queue_drops,omitempty"`
+	TxContended      uint64 `json:"tx_contended,omitempty"`
+	TxLockCycles     int64  `json:"tx_lock_cycles,omitempty"`
+	CtEvictions      uint64 `json:"ct_evictions,omitempty"`
+	OffloadHits      uint64 `json:"offload_hits,omitempty"`
+
+	Stages        []StageCycles      `json:"stages"`
+	UpcallLatency *UpcallLatencyView `json:"upcall_latency,omitempty"`
+}
+
+// PerfView is the typed view behind `ovsctl pmd-perf-show` and the
+// daemon's GET /v1/pmd/perf: one block per thread, fully materialized at
+// construction so it never aliases live counter state.
+type PerfView struct {
+	Threads []ThreadPerfView `json:"threads"`
+}
+
+// NewPerfView snapshots the per-thread counter blocks into a view. Stage
+// rows carry percentages and per-packet costs precomputed with the same
+// arithmetic the text table always used; the offload stage is elided while
+// hw-offload has never fired, keeping views (and their renderings) for
+// offload-free runs unchanged.
+func NewPerfView(threads []perf.ThreadStats) PerfView {
+	v := PerfView{}
+	for _, t := range threads {
+		s := t.Stats
+		tv := ThreadPerfView{
+			Name:             t.Name,
+			Iterations:       s.Iterations,
+			Packets:          s.Packets,
+			AvgBatch:         s.BatchMean(),
+			EMCHits:          s.EMCHits,
+			SMCHits:          s.SMCHits,
+			MegaflowHits:     s.MegaflowHits,
+			Upcalls:          s.Upcalls,
+			UpcallQueuePeak:  s.UpcallQueuePeak,
+			UpcallQueueDrops: s.UpcallQueueDrops,
+			TxContended:      s.TxContended,
+			TxLockCycles:     int64(s.TxLockCycles),
+			CtEvictions:      s.CtEvictions,
+			OffloadHits:      s.OffloadHits,
+		}
+		total := s.TotalCycles()
+		for st := perf.StageRx; st < perf.NumStages; st++ {
+			if st == perf.StageOffload && s.Cycles[st] == 0 && s.OffloadHits == 0 {
+				continue
+			}
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(s.Cycles[st]) / float64(total)
+			}
+			tv.Stages = append(tv.Stages, StageCycles{
+				Stage:     st.String(),
+				Cycles:    int64(s.Cycles[st]),
+				Pct:       pct,
+				PerPacket: s.CyclesPerPacket(st),
+			})
+		}
+		if n := s.UpcallCount(); n > 0 {
+			lat := s.UpcallLatency()
+			us := float64(sim.Microsecond)
+			tv.UpcallLatency = &UpcallLatencyView{
+				Count: n, P50us: lat.P50 / us, P90us: lat.P90 / us, P99us: lat.P99 / us,
+			}
+		}
+		v.Threads = append(v.Threads, tv)
+	}
+	return v
+}
+
+// FormatTable renders the `ovs-appctl dpif-netdev/pmd-perf-show` analog:
+// one block per thread with per-stage cycles, their share of total cycles,
+// amortized cycles per packet, the packets-per-batch mean, and the upcall
+// latency percentiles.
+func (v PerfView) FormatTable() string {
+	var b strings.Builder
+	for _, t := range v.Threads {
+		fmt.Fprintf(&b, "%s:\n", t.Name)
+		fmt.Fprintf(&b, "  iterations: %d  packets: %d  avg-batch: %.2f pkts\n",
+			t.Iterations, t.Packets, t.AvgBatch)
+		fmt.Fprintf(&b, "  hits: emc:%d smc:%d megaflow:%d upcall:%d\n",
+			t.EMCHits, t.SMCHits, t.MegaflowHits, t.Upcalls)
+		if t.UpcallQueueDrops > 0 || t.UpcallQueuePeak > 0 {
+			fmt.Fprintf(&b, "  upcall-queue: peak:%d drops:%d\n",
+				t.UpcallQueuePeak, t.UpcallQueueDrops)
+		}
+		if t.TxContended > 0 {
+			fmt.Fprintf(&b, "  tx-xps: contended-pkts:%d lock-cycles:%d\n",
+				t.TxContended, t.TxLockCycles)
+		}
+		if t.CtEvictions > 0 {
+			fmt.Fprintf(&b, "  conntrack: pressure-evictions:%d\n", t.CtEvictions)
+		}
+		if t.OffloadHits > 0 {
+			fmt.Fprintf(&b, "  offload: hw-hits:%d\n", t.OffloadHits)
+		}
+		for _, st := range t.Stages {
+			fmt.Fprintf(&b, "  %-8s %12d cycles  %5.1f%%  %8.1f/pkt\n",
+				st.Stage, st.Cycles, st.Pct, st.PerPacket)
+		}
+		if lat := t.UpcallLatency; lat != nil {
+			fmt.Fprintf(&b, "  upcall latency: P50=%.1fus P90=%.1fus P99=%.1fus\n",
+				lat.P50us, lat.P90us, lat.P99us)
+		}
+	}
+	if b.Len() == 0 {
+		return "no packet-processing threads\n"
+	}
+	return b.String()
+}

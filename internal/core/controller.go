@@ -1,0 +1,241 @@
+// Controller: the virtual-time / wall-clock bridge behind the ovs-svc
+// control plane.
+//
+// The simulation engine is single-goroutine by design — events run one at a
+// time in virtual-timestamp order, so datapath code needs no locking and
+// same-seed runs are byte-identical. A live HTTP daemon breaks that comfort:
+// handler goroutines arrive on wall-clock time and want to read counters or
+// mutate other_config while the engine is mid-run. Letting them touch
+// engine-owned state directly would tear half-updated counters at best and
+// corrupt classifier structures at worst.
+//
+// The Controller is the seam between the two clocks. It owns the engine's
+// run loop, advancing virtual time in fixed slices, and between slices —
+// when the engine is provably between events — it drains a queue of
+// operations submitted from other goroutines. Every API read and mutation
+// executes as such an operation, atomically with respect to the event
+// stream.
+//
+// Determinism falls out of two engine properties: RunUntil(t) advances the
+// clock to exactly t without drawing a sequence number, and
+// RunUntil(a);RunUntil(b) executes the same event stream as RunUntil(b).
+// Slicing the run therefore cannot perturb a simulation, and with the API
+// attached but idle (no operations submitted) a controller-driven run is
+// byte-identical to a plain one — the property the determinism tests pin.
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ovsxdp/internal/sim"
+)
+
+// DefaultStep is the default virtual-time slice between operation drains.
+const DefaultStep = 100 * sim.Microsecond
+
+// ctlOp is one queued operation with its completion signal.
+type ctlOp struct {
+	fn   func()
+	done chan struct{}
+}
+
+// Hold is a pre-registered parking point: the controller pauses the engine
+// when virtual time reaches At and keeps it parked — draining operations —
+// until Release is called. Scenarios use holds to issue wall-clock HTTP
+// requests at an exact virtual instant: park, fire the request from another
+// goroutine, let its handler run as an operation, release.
+type Hold struct {
+	At sim.Time
+	// Reached is closed when the engine parks at At.
+	Reached chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+// Release resumes the run loop. Safe to call more than once.
+func (h *Hold) Release() { h.once.Do(func() { close(h.release) }) }
+
+// Controller drives a sim.Engine in slices and applies cross-goroutine
+// operations at slice boundaries. Create it with NewController, register
+// any holds, then call Run from the goroutine that owns the simulation.
+type Controller struct {
+	eng *sim.Engine
+	// Step is the virtual-time slice between operation drains. Smaller
+	// slices bound operation latency (in virtual time); larger ones cost
+	// less run-loop overhead. Zero means DefaultStep.
+	Step sim.Time
+	// Pace, when positive, is wall seconds per virtual second: the run
+	// loop sleeps so virtual time advances no faster than that rate
+	// (1.0 ~= real time). Zero runs free.
+	Pace float64
+
+	ops chan ctlOp
+
+	mu      sync.Mutex
+	holds   []*Hold
+	stopped bool
+}
+
+// NewController wraps an engine. The controller assumes it is the only
+// driver of the engine's run loop from the moment Run starts.
+func NewController(eng *sim.Engine) *Controller {
+	return &Controller{eng: eng, ops: make(chan ctlOp)}
+}
+
+// Engine returns the wrapped engine (for wiring done on the simulation
+// goroutine before Run).
+func (c *Controller) Engine() *sim.Engine { return c.eng }
+
+// HoldAt registers a parking point at virtual time t. Must be called
+// before Run reaches t; holds registered at or before the current slice
+// park at the next boundary.
+func (c *Controller) HoldAt(t sim.Time) *Hold {
+	h := &Hold{At: t, Reached: make(chan struct{}), release: make(chan struct{})}
+	c.mu.Lock()
+	c.holds = append(c.holds, h)
+	sort.SliceStable(c.holds, func(i, j int) bool { return c.holds[i].At < c.holds[j].At })
+	c.mu.Unlock()
+	return h
+}
+
+// Do submits fn to run on the simulation goroutine at the next slice
+// boundary (or immediately if the controller is parked or idle-serving)
+// and blocks until it has run. fn sees the engine paused between events:
+// it may read any state and call engine Schedule* freely, exactly as event
+// callbacks do.
+func (c *Controller) Do(fn func()) {
+	op := ctlOp{fn: fn, done: make(chan struct{})}
+	c.ops <- op
+	<-op.done
+}
+
+// Stop makes Run return at the next slice boundary instead of running to
+// its target time. Pending holds are released so no client goroutine stays
+// parked forever.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	holds := c.holds
+	c.holds = nil
+	c.mu.Unlock()
+	for _, h := range holds {
+		h.Release()
+	}
+}
+
+// nextHold returns the earliest registered hold not yet passed, if any.
+func (c *Controller) nextHold() (*Hold, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.holds) == 0 {
+		return nil, false
+	}
+	return c.holds[0], true
+}
+
+// popHold removes h from the registry (after it released).
+func (c *Controller) popHold(h *Hold) {
+	c.mu.Lock()
+	for i, x := range c.holds {
+		if x == h {
+			c.holds = append(c.holds[:i], c.holds[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// drain runs every queued operation without blocking.
+func (c *Controller) drain() {
+	for {
+		select {
+		case op := <-c.ops:
+			op.fn()
+			close(op.done)
+		default:
+			return
+		}
+	}
+}
+
+// park blocks at a hold, serving operations until it is released.
+func (c *Controller) park(h *Hold) {
+	close(h.Reached)
+	for {
+		select {
+		case op := <-c.ops:
+			op.fn()
+			close(op.done)
+		case <-h.release:
+			c.popHold(h)
+			c.drain()
+			return
+		}
+	}
+}
+
+// Run advances virtual time to until, draining operations at every slice
+// boundary and parking at registered holds. It must be called from the
+// goroutine that owns the simulation; it returns when virtual time reaches
+// until or Stop is called.
+func (c *Controller) Run(until sim.Time) {
+	step := c.Step
+	if step <= 0 {
+		step = DefaultStep
+	}
+	wallStart := time.Now()
+	vStart := c.eng.Now()
+	for {
+		c.drain()
+		c.mu.Lock()
+		stopped := c.stopped
+		c.mu.Unlock()
+		now := c.eng.Now()
+		if stopped || now >= until {
+			return
+		}
+		target := now + step
+		if target > until {
+			target = until
+		}
+		var hold *Hold
+		if h, ok := c.nextHold(); ok && h.At <= target {
+			hold = h
+			if h.At > now {
+				target = h.At
+			} else {
+				target = now // hold registered in the past: park before advancing
+			}
+		}
+		if target > now {
+			c.eng.RunUntil(target)
+		}
+		if c.Pace > 0 {
+			wantWall := time.Duration(float64(c.eng.Now()-vStart) * c.Pace)
+			if ahead := wantWall - time.Since(wallStart); ahead > 0 {
+				time.Sleep(ahead)
+			}
+		}
+		if hold != nil {
+			c.park(hold)
+		}
+	}
+}
+
+// ServeIdle keeps applying operations with the engine parked (between
+// runs, or after the bed has completed) until stop is closed. The daemon
+// uses it so the API stays live once the simulation window ends.
+func (c *Controller) ServeIdle(stop <-chan struct{}) {
+	for {
+		select {
+		case op := <-c.ops:
+			op.fn()
+			close(op.done)
+		case <-stop:
+			c.drain()
+			return
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ovsxdp/internal/sim"
+)
+
+// chainWorkload schedules a self-perpetuating event chain that records the
+// virtual time of every firing — a minimal stand-in for a simulation whose
+// event stream must not be perturbed by how the run loop is driven.
+func chainWorkload(eng *sim.Engine, until sim.Time) *[]sim.Time {
+	var rec []sim.Time
+	var tick func()
+	tick = func() {
+		rec = append(rec, eng.Now())
+		next := eng.Now() + 37*sim.Microsecond
+		if next <= until {
+			eng.ScheduleAt(next, tick)
+		}
+	}
+	eng.ScheduleAt(0, tick)
+	return &rec
+}
+
+// TestControllerSlicedRunIsIdentical pins the determinism contract: driving
+// the engine through a Controller in 100µs slices executes the exact same
+// event stream as one plain RunUntil.
+func TestControllerSlicedRunIsIdentical(t *testing.T) {
+	const until = 5 * sim.Millisecond
+
+	plain := sim.NewEngine(1)
+	recPlain := chainWorkload(plain, until)
+	plain.RunUntil(until)
+
+	sliced := sim.NewEngine(1)
+	recSliced := chainWorkload(sliced, until)
+	ctl := NewController(sliced)
+	ctl.Run(until)
+
+	if len(*recPlain) != len(*recSliced) {
+		t.Fatalf("event counts differ: plain %d, sliced %d", len(*recPlain), len(*recSliced))
+	}
+	for i := range *recPlain {
+		if (*recPlain)[i] != (*recSliced)[i] {
+			t.Fatalf("event %d fired at %v plain but %v sliced", i, (*recPlain)[i], (*recSliced)[i])
+		}
+	}
+	if plain.Now() != sliced.Now() {
+		t.Fatalf("final times differ: plain %v, sliced %v", plain.Now(), sliced.Now())
+	}
+}
+
+// TestControllerHoldAndDo parks the engine at an exact virtual instant,
+// applies an operation from another goroutine while parked, and resumes.
+func TestControllerHoldAndDo(t *testing.T) {
+	eng := sim.NewEngine(1)
+	chainWorkload(eng, 2*sim.Millisecond)
+	ctl := NewController(eng)
+
+	h := ctl.HoldAt(1 * sim.Millisecond)
+	var atHold sim.Time
+	opRan := false
+	go func() {
+		<-h.Reached
+		ctl.Do(func() {
+			atHold = eng.Now()
+			opRan = true
+		})
+		h.Release()
+	}()
+
+	ctl.Run(2 * sim.Millisecond)
+	if !opRan {
+		t.Fatal("operation submitted at the hold never ran")
+	}
+	if atHold != 1*sim.Millisecond {
+		t.Fatalf("operation saw t=%v, want exactly 1ms", atHold)
+	}
+	if eng.Now() != 2*sim.Millisecond {
+		t.Fatalf("run stopped at %v, want 2ms", eng.Now())
+	}
+}
+
+// TestControllerStopReleasesHolds verifies Stop unparks a held run so no
+// client goroutine can dangle, and that Run returns early.
+func TestControllerStopReleasesHolds(t *testing.T) {
+	eng := sim.NewEngine(1)
+	chainWorkload(eng, 10*sim.Millisecond)
+	ctl := NewController(eng)
+
+	h := ctl.HoldAt(1 * sim.Millisecond)
+	go func() {
+		<-h.Reached
+		ctl.Stop()
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		ctl.Run(10 * sim.Millisecond)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Stop")
+	}
+	if eng.Now() != 1*sim.Millisecond {
+		t.Fatalf("stopped at %v, want the 1ms hold point", eng.Now())
+	}
+}
+
+// TestControllerServeIdle applies operations with the engine parked and
+// drains on stop.
+func TestControllerServeIdle(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ctl := NewController(eng)
+	stop := make(chan struct{})
+	served := make(chan struct{})
+	go func() {
+		ctl.Do(func() {})
+		close(served)
+		close(stop)
+	}()
+	ctl.ServeIdle(stop)
+	select {
+	case <-served:
+	default:
+		t.Fatal("ServeIdle returned before the submitted operation ran")
+	}
+}

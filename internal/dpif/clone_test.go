@@ -1,0 +1,43 @@
+package dpif
+
+import "testing"
+
+// TestStatsCloneDoesNotAliasConnsPerZone is the regression test for the
+// shallow-copy hazard Stats documents: a plain assignment shares the
+// ConnsPerZone backing array, so Clone must duplicate it — otherwise a
+// retained snapshot (the api view layer, the HTTP control plane) silently
+// mutates when the provider refreshes its own copy.
+func TestStatsCloneDoesNotAliasConnsPerZone(t *testing.T) {
+	orig := Stats{
+		Hits:    7,
+		CtConns: 3,
+		ConnsPerZone: []CtZoneConns{
+			{Zone: 1, Conns: 2},
+			{Zone: 9, Conns: 1},
+		},
+	}
+
+	clone := orig.Clone()
+	shallow := orig // the hazard Clone exists to avoid
+
+	orig.ConnsPerZone[0].Conns = 999
+
+	if shallow.ConnsPerZone[0].Conns != 999 {
+		t.Fatal("test premise broken: shallow copy no longer aliases — Stats layout changed?")
+	}
+	if got := clone.ConnsPerZone[0].Conns; got != 2 {
+		t.Fatalf("Clone aliases ConnsPerZone: mutation of the original leaked through (got %d, want 2)", got)
+	}
+	if clone.Hits != 7 || clone.CtConns != 3 {
+		t.Fatal("Clone dropped scalar fields")
+	}
+}
+
+// TestStatsCloneNil pins that a nil slice stays nil (no spurious empty
+// allocation, so reflect.DeepEqual comparisons of idle snapshots hold).
+func TestStatsCloneNil(t *testing.T) {
+	var s Stats
+	if c := s.Clone(); c.ConnsPerZone != nil {
+		t.Fatal("Clone of nil ConnsPerZone allocated a slice")
+	}
+}

@@ -120,7 +120,27 @@ type Stats struct {
 	// ConnsPerZone lists live connections per nonempty zone, sorted by
 	// zone (nil when the tracker is idle). Note the slice makes Stats
 	// non-comparable: compare snapshots with reflect.DeepEqual.
+	//
+	// It also makes Stats a shallow-copy hazard: assigning a Stats value
+	// copies the slice header, so two copies share one backing array and a
+	// mutation through either is visible in both. Every Stats() provider
+	// returns a freshly built slice (never the tracker's own storage), and
+	// anything that retains or re-exports a snapshot — the api view layer,
+	// the HTTP control plane — must go through Clone.
 	ConnsPerZone []CtZoneConns
+}
+
+// Clone returns a deep copy of the snapshot: the ConnsPerZone backing
+// array is duplicated, so mutating the clone (or the original) can never
+// reach the other. Use it whenever a Stats value is retained past the
+// call that produced it or handed to code outside this package's control.
+func (s Stats) Clone() Stats {
+	c := s
+	if s.ConnsPerZone != nil {
+		c.ConnsPerZone = make([]CtZoneConns, len(s.ConnsPerZone))
+		copy(c.ConnsPerZone, s.ConnsPerZone)
+	}
+	return c
 }
 
 // CtZoneConns is one zone's live-connection count in Stats.

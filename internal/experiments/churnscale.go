@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 
+	"ovsxdp/internal/api"
 	"ovsxdp/internal/dpif"
 	"ovsxdp/internal/flow"
 	"ovsxdp/internal/ofproto"
@@ -92,9 +93,8 @@ type ChurnscalePoint struct {
 
 // ChurnscaleResult is the BENCH_churnscale.json schema.
 type ChurnscaleResult struct {
-	Schema  string            `json:"schema"`
-	Profile string            `json:"profile"`
-	Points  []ChurnscalePoint `json:"points"`
+	api.Envelope
+	Points []ChurnscalePoint `json:"points"`
 }
 
 // churnscaleConfig parameterizes one point.
@@ -320,7 +320,7 @@ func RunChurnscale(p Profile) ChurnscaleResult {
 	if quick {
 		profileName = "quick"
 	}
-	res := ChurnscaleResult{Schema: "ovsxdp-churnscale/v1", Profile: profileName}
+	res := ChurnscaleResult{Envelope: api.NewEnvelope("churnscale", 1, profileName)}
 	for _, c := range churnscalePoints(quick) {
 		if len(ChurnscaleOnly) > 0 && !ChurnscaleOnly[c.name] {
 			continue

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 
+	"ovsxdp/internal/api"
 	"ovsxdp/internal/conntrack"
 	"ovsxdp/internal/dpif"
 	"ovsxdp/internal/flow"
@@ -96,9 +97,8 @@ type ConnscalePoint struct {
 
 // ConnscaleResult is the BENCH_connscale.json schema.
 type ConnscaleResult struct {
-	Schema  string           `json:"schema"`
-	Profile string           `json:"profile"`
-	Points  []ConnscalePoint `json:"points"`
+	api.Envelope
+	Points []ConnscalePoint `json:"points"`
 }
 
 // connscaleConfig parameterizes one steady point.
@@ -489,7 +489,7 @@ func RunConnscale(p Profile) ConnscaleResult {
 	if quick {
 		profileName = "quick"
 	}
-	res := ConnscaleResult{Schema: "ovsxdp-connscale/v1", Profile: profileName}
+	res := ConnscaleResult{Envelope: api.NewEnvelope("connscale", 1, profileName)}
 	for _, c := range connscalePoints(quick) {
 		if len(ConnscaleOnly) > 0 && !ConnscaleOnly[c.name] {
 			continue

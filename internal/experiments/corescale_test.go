@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	"ovsxdp/internal/api"
 	"ovsxdp/internal/dpif"
-	"ovsxdp/internal/perf"
 	"ovsxdp/internal/sim"
 )
 
@@ -61,7 +61,7 @@ func corescaleFingerprint(t *testing.T) (string, uint64) {
 	reb, moves, dry := nd.Datapath().RebalanceStats()
 	fp := fmt.Sprintf("delivered=%d drops=%d rebalances=%d moves=%d dryruns=%d\n%s%s",
 		bed.Delivered, bed.Drops(), reb, moves, dry,
-		nd.PmdRxqShow(), perf.FormatTable(nd.PerfStats()))
+		nd.PmdRxqShow(), api.NewPerfView(nd.PerfStats()).FormatTable())
 	return fp, reb
 }
 

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 
+	"ovsxdp/internal/api"
 	"ovsxdp/internal/dpif"
 	"ovsxdp/internal/faultinject"
 	"ovsxdp/internal/flow"
@@ -98,9 +99,8 @@ type OffloadPoint struct {
 
 // OffloadResult is the BENCH_offload.json schema.
 type OffloadResult struct {
-	Schema  string         `json:"schema"`
-	Profile string         `json:"profile"`
-	Points  []OffloadPoint `json:"points"`
+	api.Envelope
+	Points []OffloadPoint `json:"points"`
 }
 
 // offloadConfig parameterizes one point.
@@ -322,7 +322,7 @@ func RunOffload(p Profile) OffloadResult {
 		profileName = "quick"
 		window = 12 * sim.Millisecond
 	}
-	res := OffloadResult{Schema: "ovsxdp-offload/v1", Profile: profileName}
+	res := OffloadResult{Envelope: api.NewEnvelope("offload", 1, profileName)}
 	var baseline *OffloadPoint
 	for _, c := range offloadPoints(quick) {
 		if len(OffloadOnly) > 0 && !OffloadOnly[c.name] {

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"ovsxdp/internal/api"
 	"ovsxdp/internal/sim"
 )
 
@@ -71,9 +72,8 @@ type SimspeedPoint struct {
 
 // SimspeedResult is the BENCH_simspeed.json schema.
 type SimspeedResult struct {
-	Schema  string          `json:"schema"`
-	Profile string          `json:"profile"`
-	Points  []SimspeedPoint `json:"points"`
+	api.Envelope
+	Points []SimspeedPoint `json:"points"`
 	// PreRefactorPktsPerWallS is the frozen pre-PR-6 reference
 	// (see simspeedPreRefactor).
 	PreRefactorPktsPerWallS map[string]float64 `json:"pre_refactor_pkts_per_wall_s"`
@@ -147,8 +147,7 @@ func RunSimspeed(p Profile) SimspeedResult {
 		profileName = "quick"
 	}
 	res := SimspeedResult{
-		Schema:                  "ovsxdp-simspeed/v1",
-		Profile:                 profileName,
+		Envelope:                api.NewEnvelope("simspeed", 1, profileName),
 		PreRefactorPktsPerWallS: simspeedPreRefactor,
 	}
 	for _, c := range simspeedConfigs {

@@ -14,7 +14,6 @@ package perf
 
 import (
 	"fmt"
-	"strings"
 
 	"ovsxdp/internal/sim"
 )
@@ -198,55 +197,4 @@ func (s *Stats) Trace() []TraceRecord {
 type ThreadStats struct {
 	Name string
 	*Stats
-}
-
-// FormatTable renders the `ovs-appctl dpif-netdev/pmd-perf-show` analog:
-// one block per thread with per-stage cycles, their share of total cycles,
-// amortized cycles per packet, the packets-per-batch mean, and the upcall
-// latency percentiles.
-func FormatTable(threads []ThreadStats) string {
-	var b strings.Builder
-	for _, t := range threads {
-		s := t.Stats
-		fmt.Fprintf(&b, "%s:\n", t.Name)
-		fmt.Fprintf(&b, "  iterations: %d  packets: %d  avg-batch: %.2f pkts\n",
-			s.Iterations, s.Packets, s.BatchMean())
-		fmt.Fprintf(&b, "  hits: emc:%d smc:%d megaflow:%d upcall:%d\n",
-			s.EMCHits, s.SMCHits, s.MegaflowHits, s.Upcalls)
-		if s.UpcallQueueDrops > 0 || s.UpcallQueuePeak > 0 {
-			fmt.Fprintf(&b, "  upcall-queue: peak:%d drops:%d\n",
-				s.UpcallQueuePeak, s.UpcallQueueDrops)
-		}
-		if s.TxContended > 0 {
-			fmt.Fprintf(&b, "  tx-xps: contended-pkts:%d lock-cycles:%d\n",
-				s.TxContended, s.TxLockCycles)
-		}
-		if s.CtEvictions > 0 {
-			fmt.Fprintf(&b, "  conntrack: pressure-evictions:%d\n", s.CtEvictions)
-		}
-		if s.OffloadHits > 0 {
-			fmt.Fprintf(&b, "  offload: hw-hits:%d\n", s.OffloadHits)
-		}
-		total := s.TotalCycles()
-		for st := StageRx; st < NumStages; st++ {
-			// The offload stage only exists when hw-offload is on; keep
-			// the table byte-identical for every run without it.
-			if st == StageOffload && s.Cycles[st] == 0 && s.OffloadHits == 0 {
-				continue
-			}
-			pct := 0.0
-			if total > 0 {
-				pct = 100 * float64(s.Cycles[st]) / float64(total)
-			}
-			fmt.Fprintf(&b, "  %-8s %12d cycles  %5.1f%%  %8.1f/pkt\n",
-				st, s.Cycles[st], pct, s.CyclesPerPacket(st))
-		}
-		if s.UpcallCount() > 0 {
-			fmt.Fprintf(&b, "  upcall latency: %s\n", s.UpcallLatency())
-		}
-	}
-	if b.Len() == 0 {
-		return "no packet-processing threads\n"
-	}
-	return b.String()
 }

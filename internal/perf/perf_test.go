@@ -105,27 +105,6 @@ func TestEnableTraceToggle(t *testing.T) {
 	}
 }
 
-func TestFormatTable(t *testing.T) {
-	s := NewStats()
-	s.AddIteration()
-	s.AddBatch(4)
-	s.Packets = 4
-	s.EMCHits = 3
-	s.Add(StageRx, 400)
-	s.Add(StageEMC, 100)
-	s.AddUpcall(60 * sim.Microsecond)
-	out := FormatTable([]ThreadStats{{Name: "pmd0", Stats: s}})
-	for _, want := range []string{"pmd0:", "iterations: 1", "avg-batch: 4.00",
-		"emc:3", "rx", "dpcls", "upcall latency:"} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("table missing %q:\n%s", want, out)
-		}
-	}
-	if FormatTable(nil) != "no packet-processing threads\n" {
-		t.Fatal("empty table sentinel wrong")
-	}
-}
-
 func TestFormatTrace(t *testing.T) {
 	s := NewStats()
 	s.EnableTrace(2)

@@ -11,6 +11,7 @@ import (
 	"net"
 	"sync"
 
+	"ovsxdp/internal/api"
 	"ovsxdp/internal/dpif"
 	"ovsxdp/internal/ofproto"
 	"ovsxdp/internal/openflow"
@@ -78,7 +79,7 @@ func New(db *ovsdb.Server, pl *ofproto.Pipeline, dp dpif.Dpif) *VSwitchd {
 // PmdPerfShow renders the datapath's per-thread performance counters — the
 // `ovs-appctl dpif-netdev/pmd-perf-show` endpoint.
 func (v *VSwitchd) PmdPerfShow() string {
-	return perf.FormatTable(v.Datapath.PerfStats())
+	return api.NewPerfView(v.Datapath.PerfStats()).FormatTable()
 }
 
 // PmdPerfTrace renders captured packet lifecycles; call EnableTrace on the
